@@ -1,0 +1,46 @@
+# Convenience targets for the ev8pred repository. Everything is plain
+# `go` underneath; the targets just encode the common invocations.
+
+GO ?= go
+
+.PHONY: all build vet test race bench report fuzz examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One testing.B benchmark per paper table/figure plus predictor
+# throughput; -benchmem reports allocation behavior.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every table and figure of the paper (10M instructions per
+# benchmark; the paper's full scale is -instructions 100000000).
+report:
+	$(GO) run ./cmd/ev8bench -experiment all -o bench_report.txt
+
+# Short fuzz sessions over the trace codec.
+fuzz:
+	$(GO) test -fuzz FuzzReader -fuzztime 30s ./internal/trace/
+	$(GO) test -fuzz FuzzRoundTrip -fuzztime 30s ./internal/trace/
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/compare
+	$(GO) run ./examples/custom
+	$(GO) run ./examples/smt
+	$(GO) run ./examples/frontend
+
+clean:
+	$(GO) clean ./...
+	rm -f test_output.txt bench_output.txt

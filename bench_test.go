@@ -1,0 +1,171 @@
+package ev8pred_test
+
+// Benchmark harness: one testing.B benchmark per table and figure of the
+// paper, each running the corresponding experiment end to end on a
+// scaled-down deterministic workload (full-scale regeneration is
+// cmd/ev8bench). Plus raw predictor-throughput benchmarks for the core
+// predictors, which is what -benchmem is most useful for.
+//
+// Run with: go test -bench=. -benchmem
+
+import (
+	"testing"
+
+	"ev8pred"
+	"ev8pred/internal/experiments"
+	"ev8pred/internal/workload"
+)
+
+// benchConfig keeps experiment benchmarks fast while preserving shape.
+func benchConfig(instr int64, names ...string) experiments.Config {
+	cfg := experiments.Config{Instructions: instr}
+	if len(names) == 0 {
+		cfg.Benchmarks = workload.Benchmarks()
+		return cfg
+	}
+	for _, n := range names {
+		p, err := workload.ByName(n)
+		if err != nil {
+			panic(err)
+		}
+		cfg.Benchmarks = append(cfg.Benchmarks, p)
+	}
+	return cfg
+}
+
+func runExperiment(b *testing.B, id string, cfg experiments.Config) {
+	b.Helper()
+	e, err := experiments.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tbl, err := e.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if tbl.Rows() == 0 {
+			b.Fatal("experiment produced an empty table")
+		}
+	}
+}
+
+func BenchmarkTable1EV8Throughput(b *testing.B) {
+	// Table 1 is a configuration listing; the meaningful benchmark is
+	// the throughput of the predictor it describes.
+	p := ev8pred.NewEV8()
+	prof, err := ev8pred.BenchmarkByName("gcc")
+	if err != nil {
+		b.Fatal(err)
+	}
+	src, err := ev8pred.NewWorkload(prof, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	r := ev8pred.Run(p, src, ev8pred.Options{Mode: ev8pred.ModeEV8(), MaxBranches: int64(b.N)})
+	b.ReportMetric(1000*float64(r.Mispredicts)/float64(r.Instructions+1), "misp/KI")
+}
+
+func BenchmarkTable2TraceGen(b *testing.B) {
+	runExperiment(b, "table2", benchConfig(300_000))
+}
+
+func BenchmarkTable3LghistRatio(b *testing.B) {
+	runExperiment(b, "table3", benchConfig(300_000))
+}
+
+func BenchmarkFig5Schemes(b *testing.B) {
+	runExperiment(b, "fig5", benchConfig(200_000, "li", "go"))
+}
+
+func BenchmarkFig6ShortHistory(b *testing.B) {
+	runExperiment(b, "fig6", benchConfig(200_000, "li", "go"))
+}
+
+func BenchmarkFig7InfoVector(b *testing.B) {
+	runExperiment(b, "fig7", benchConfig(200_000, "li", "perl"))
+}
+
+func BenchmarkFig8TableSizes(b *testing.B) {
+	runExperiment(b, "fig8", benchConfig(200_000, "li", "perl"))
+}
+
+func BenchmarkFig9Wordline(b *testing.B) {
+	runExperiment(b, "fig9", benchConfig(200_000, "li", "perl"))
+}
+
+func BenchmarkFig10Limits(b *testing.B) {
+	runExperiment(b, "fig10", benchConfig(200_000, "li", "m88ksim"))
+}
+
+func BenchmarkAblations(b *testing.B) {
+	runExperiment(b, "ablations", benchConfig(150_000, "li"))
+}
+
+func BenchmarkPerfModel(b *testing.B) {
+	runExperiment(b, "perf", benchConfig(200_000, "li", "m88ksim"))
+}
+
+func BenchmarkSMT(b *testing.B) {
+	runExperiment(b, "smt", benchConfig(400_000, "perl"))
+}
+
+func BenchmarkBackupHierarchy(b *testing.B) {
+	runExperiment(b, "backup", benchConfig(200_000, "li"))
+}
+
+// Raw predictor throughput: branches predicted+updated per second.
+
+func benchPredictor(b *testing.B, p ev8pred.Predictor, mode ev8pred.Mode) {
+	b.Helper()
+	prof, err := ev8pred.BenchmarkByName("gcc")
+	if err != nil {
+		b.Fatal(err)
+	}
+	src, err := ev8pred.NewWorkload(prof, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	ev8pred.Run(p, src, ev8pred.Options{Mode: mode, MaxBranches: int64(b.N)})
+}
+
+func BenchmarkPredictorEV8(b *testing.B) {
+	benchPredictor(b, ev8pred.NewEV8(), ev8pred.ModeEV8())
+}
+
+func BenchmarkPredictor2BcGskew512K(b *testing.B) {
+	p, err := ev8pred.New2BcGskew(ev8pred.Config512K())
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchPredictor(b, p, ev8pred.ModeGhist())
+}
+
+func BenchmarkPredictorGshare2M(b *testing.B) {
+	p, err := ev8pred.NewGshare(1024*1024, 20)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchPredictor(b, p, ev8pred.ModeGhist())
+}
+
+func BenchmarkPredictorBimodal(b *testing.B) {
+	p, err := ev8pred.NewBimodal(256 * 1024)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchPredictor(b, p, ev8pred.ModeGhist())
+}
+
+func BenchmarkPredictorPerceptron(b *testing.B) {
+	p, err := ev8pred.NewPerceptron(1024, 27)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchPredictor(b, p, ev8pred.ModeGhist())
+}

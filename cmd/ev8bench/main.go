@@ -1,0 +1,100 @@
+// Command ev8bench regenerates the tables and figures of the paper's
+// evaluation section from the library's implementations.
+//
+// Usage:
+//
+//	ev8bench [-experiment all|table1|table2|fig5|...|ablations|perf|smt|backup]
+//	         [-instructions N] [-benchmarks gcc,go,...] [-o report.txt]
+//
+// The default regenerates everything over 10M synthetic instructions per
+// benchmark (the paper uses 100M; pass -instructions 100000000 for the
+// full-scale run).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"ev8pred/internal/experiments"
+	"ev8pred/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "ev8bench:", err)
+		os.Exit(1)
+	}
+}
+
+// run executes the tool; out receives the report unless -o redirects it.
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("ev8bench", flag.ContinueOnError)
+	var (
+		experiment   = fs.String("experiment", "all", "experiment id or 'all'; one of "+strings.Join(experiments.IDs(), ","))
+		instructions = fs.Int64("instructions", 10_000_000, "synthetic instructions per benchmark")
+		benchmarks   = fs.String("benchmarks", "", "comma-separated benchmark subset (default: all eight)")
+		outPath      = fs.String("o", "", "write the report to this file instead of stdout")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := experiments.Config{Instructions: *instructions}
+	if *benchmarks == "" {
+		cfg.Benchmarks = workload.Benchmarks()
+	} else {
+		for _, name := range strings.Split(*benchmarks, ",") {
+			p, err := workload.ByName(strings.TrimSpace(name))
+			if err != nil {
+				return err
+			}
+			cfg.Benchmarks = append(cfg.Benchmarks, p)
+		}
+	}
+
+	var todo []experiments.Experiment
+	if *experiment == "all" {
+		todo = experiments.All()
+	} else {
+		e, err := experiments.ByID(*experiment)
+		if err != nil {
+			return err
+		}
+		todo = []experiments.Experiment{e}
+	}
+
+	w := out
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if cerr := f.Close(); cerr != nil {
+				fmt.Fprintln(os.Stderr, "ev8bench: closing report:", cerr)
+			}
+		}()
+		w = f
+	}
+
+	fmt.Fprintf(w, "ev8bench: %d experiments, %d instructions/benchmark, %d benchmarks\n\n",
+		len(todo), cfg.Instructions, len(cfg.Benchmarks))
+	for _, e := range todo {
+		start := time.Now()
+		tbl, err := e.Run(cfg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		fmt.Fprintf(w, "## %s — %s\n", e.ID, e.Title)
+		fmt.Fprintf(w, "expected shape: %s\n\n", e.Shape)
+		if err := tbl.Fprint(w); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "  (%.1fs)\n\n", time.Since(start).Seconds())
+	}
+	return nil
+}

@@ -1,0 +1,72 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunSingleExperiment(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{
+		"-experiment", "table1",
+	}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"table1", "BIM", "352 Kbits"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunBenchmarkSubset(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{
+		"-experiment", "table2", "-benchmarks", "li,perl", "-instructions", "100000",
+	}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "li") || !strings.Contains(out, "perl") {
+		t.Errorf("subset missing:\n%s", out)
+	}
+	if strings.Contains(out, "vortex") {
+		t.Error("unrequested benchmark in output")
+	}
+}
+
+func TestRunWritesFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "report.txt")
+	var sb strings.Builder
+	if err := run([]string{"-experiment", "table1", "-o", path}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "352 Kbits") {
+		t.Errorf("file content: %s", data)
+	}
+	if sb.Len() != 0 {
+		t.Error("-o should redirect output away from stdout")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-experiment", "nonesuch"}, &sb); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+	if err := run([]string{"-benchmarks", "nonesuch"}, &sb); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+	if err := run([]string{"-badflag"}, &sb); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

@@ -1,0 +1,210 @@
+// Command ev8sim runs one or more branch predictors over a synthetic
+// benchmark or a recorded trace file and reports accuracy.
+//
+// Usage:
+//
+//	ev8sim [-predictors ev8,2bcg512,gshare,...] [-benchmarks gcc,go|-trace file]
+//	       [-instructions N] [-mode ev8|ghist|lghist|lghist-nopath|old-lghist]
+//	       [-threads N] [-quantum N]
+//
+// Examples:
+//
+//	ev8sim -predictors ev8 -benchmarks gcc
+//	ev8sim -predictors ev8,gshare,bimodal -benchmarks all -instructions 5000000
+//	ev8sim -predictors 2bcg512 -trace gcc.ev8t.gz -mode ghist
+//	ev8sim -predictors ev8 -benchmarks perl -threads 4   # SMT interleaving
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"ev8pred/internal/core"
+	"ev8pred/internal/ev8"
+	"ev8pred/internal/frontend"
+	"ev8pred/internal/predictor"
+	"ev8pred/internal/predictor/agree"
+	"ev8pred/internal/predictor/bimodal"
+	"ev8pred/internal/predictor/bimode"
+	"ev8pred/internal/predictor/cascade"
+	"ev8pred/internal/predictor/dhlf"
+	"ev8pred/internal/predictor/egskew"
+	"ev8pred/internal/predictor/gshare"
+	"ev8pred/internal/predictor/local"
+	"ev8pred/internal/predictor/perceptron"
+	"ev8pred/internal/predictor/yags"
+	"ev8pred/internal/report"
+	"ev8pred/internal/sim"
+	"ev8pred/internal/trace"
+	"ev8pred/internal/workload"
+)
+
+// predictorFactories maps CLI names to configurations (paper presets).
+var predictorFactories = map[string]func() (predictor.Predictor, error){
+	"ev8":     func() (predictor.Predictor, error) { return ev8.New(ev8.DefaultConfig()) },
+	"2bcg256": func() (predictor.Predictor, error) { return core.New(core.Config256K()) },
+	"2bcg512": func() (predictor.Predictor, error) { return core.New(core.Config512K()) },
+	"2bcg4m":  func() (predictor.Predictor, error) { return core.New(core.Config4M()) },
+	"egskew":  func() (predictor.Predictor, error) { return egskew.New(64*1024, 21, true) },
+	"bimodal": func() (predictor.Predictor, error) { return bimodal.New(256 * 1024) },
+	"gshare":  func() (predictor.Predictor, error) { return gshare.New(1024*1024, 20) },
+	"bimode":  func() (predictor.Predictor, error) { return bimode.New(128*1024, 16*1024, 20) },
+	"yags":    func() (predictor.Predictor, error) { return yags.New(16*1024, 16*1024, 23) },
+	"agree":   func() (predictor.Predictor, error) { return agree.New(64*1024, 128*1024, 17) },
+	"local":   func() (predictor.Predictor, error) { return local.New(4*1024, 16) },
+	"dhlf":    func() (predictor.Predictor, error) { return dhlf.New(256*1024, 24, 16384) },
+	"perceptron": func() (predictor.Predictor, error) {
+		return perceptron.New(1024, 27)
+	},
+	"cascade": func() (predictor.Predictor, error) {
+		primary, err := ev8.New(ev8.DefaultConfig())
+		if err != nil {
+			return nil, err
+		}
+		backup, err := perceptron.New(1024, 27)
+		if err != nil {
+			return nil, err
+		}
+		return cascade.New(primary, backup, cascade.Config{MinConfidence: 14})
+	},
+}
+
+var modes = map[string]frontend.Mode{
+	"ghist":         frontend.ModeGhist(),
+	"lghist":        frontend.ModeLghist(),
+	"lghist-nopath": frontend.ModeLghistNoPath(),
+	"old-lghist":    frontend.ModeOldLghist(),
+	"ev8":           frontend.ModeEV8(),
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "ev8sim:", err)
+		os.Exit(1)
+	}
+}
+
+// run executes the tool against the given arguments, writing the result
+// table to out.
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("ev8sim", flag.ContinueOnError)
+	var (
+		predictors   = fs.String("predictors", "ev8", "comma-separated predictor list: "+strings.Join(predictorNames(), ","))
+		benchmarks   = fs.String("benchmarks", "gcc", "comma-separated benchmarks or 'all'")
+		traceFile    = fs.String("trace", "", "run over a recorded trace file instead of synthetic benchmarks")
+		instructions = fs.Int64("instructions", 10_000_000, "synthetic instructions per benchmark")
+		modeName     = fs.String("mode", "ev8", "information vector: ev8|ghist|lghist|lghist-nopath|old-lghist")
+		threads      = fs.Int("threads", 1, "SMT: interleave N copies of each benchmark")
+		quantum      = fs.Int64("quantum", 1000, "SMT: instructions per thread switch")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	mode, ok := modes[*modeName]
+	if !ok {
+		return fmt.Errorf("unknown mode %q", *modeName)
+	}
+	opts := sim.Options{Mode: mode}
+
+	var names []string
+	for _, n := range strings.Split(*predictors, ",") {
+		names = append(names, strings.TrimSpace(n))
+	}
+	// Validate predictor names up front.
+	for _, n := range names {
+		if _, ok := predictorFactories[n]; !ok {
+			return fmt.Errorf("unknown predictor %q (have %s)", n, strings.Join(predictorNames(), ","))
+		}
+	}
+
+	tbl := report.New("ev8sim results",
+		"workload", "predictor", "size Kbits", "misp/KI", "accuracy%", "branches")
+
+	if *traceFile != "" {
+		// Decode once (gzip-transparent), replay per predictor.
+		rd, closer, err := trace.Open(*traceFile)
+		if err != nil {
+			return err
+		}
+		records := trace.Collect(rd, 0)
+		if err := rd.Err(); err != nil {
+			return err
+		}
+		if err := closer.Close(); err != nil {
+			return err
+		}
+		for _, n := range names {
+			p, err := predictorFactories[n]()
+			if err != nil {
+				return err
+			}
+			r := sim.Run(p, trace.NewSlice(records), opts)
+			r.Workload = *traceFile
+			addRow(tbl, r)
+		}
+		return tbl.Fprint(out)
+	}
+
+	var profs []workload.Profile
+	if *benchmarks == "all" {
+		profs = workload.Benchmarks()
+	} else {
+		for _, n := range strings.Split(*benchmarks, ",") {
+			prof, err := workload.ByName(strings.TrimSpace(n))
+			if err != nil {
+				return err
+			}
+			profs = append(profs, prof)
+		}
+	}
+	for _, prof := range profs {
+		for _, n := range names {
+			p, err := predictorFactories[n]()
+			if err != nil {
+				return err
+			}
+			var r sim.Result
+			if *threads <= 1 {
+				r, err = sim.RunBenchmark(p, prof, *instructions, opts)
+				if err != nil {
+					return err
+				}
+			} else {
+				srcs := make([]trace.Source, *threads)
+				for i := range srcs {
+					g, err := workload.New(prof, *instructions)
+					if err != nil {
+						return err
+					}
+					srcs[i] = g
+				}
+				r = sim.Run(p, workload.NewInterleaved(srcs, *quantum), opts)
+				r.Workload = fmt.Sprintf("%s x%d", prof.Name, *threads)
+			}
+			if r.Workload == "" {
+				r.Workload = prof.Name
+			}
+			addRow(tbl, r)
+		}
+	}
+	return tbl.Fprint(out)
+}
+
+func addRow(tbl *report.Table, r sim.Result) {
+	tbl.AddRowf(r.Workload, r.Predictor, r.SizeBits/1024,
+		r.MispKI(), 100*r.Accuracy(), r.Branches)
+}
+
+func predictorNames() []string {
+	out := make([]string, 0, len(predictorFactories))
+	for n := range predictorFactories {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

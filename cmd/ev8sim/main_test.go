@@ -1,0 +1,105 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ev8pred/internal/trace"
+	"ev8pred/internal/workload"
+)
+
+func TestRunBenchmarkMode(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{
+		"-predictors", "bimodal,gshare",
+		"-benchmarks", "li",
+		"-instructions", "200000",
+		"-mode", "ghist",
+	}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"li", "bimodal", "gshare", "misp/KI"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunSMTMode(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{
+		"-predictors", "ev8",
+		"-benchmarks", "perl",
+		"-instructions", "100000",
+		"-threads", "2",
+	}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "perl x2") {
+		t.Errorf("SMT workload label missing:\n%s", sb.String())
+	}
+}
+
+func TestRunTraceMode(t *testing.T) {
+	prof, err := workload.ByName("compress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := workload.New(prof, 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "c.ev8t")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := trace.WriteAll(f, g); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var sb strings.Builder
+	if err := run([]string{"-predictors", "2bcg256", "-trace", path, "-mode", "ghist"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "2Bc-gskew-256Kbit") {
+		t.Errorf("trace-mode output:\n%s", sb.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-predictors", "nonesuch"}, &sb); err == nil {
+		t.Error("unknown predictor accepted")
+	}
+	if err := run([]string{"-mode", "nonesuch"}, &sb); err == nil {
+		t.Error("unknown mode accepted")
+	}
+	if err := run([]string{"-benchmarks", "nonesuch", "-instructions", "1000"}, &sb); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+	if err := run([]string{"-trace", filepath.Join(t.TempDir(), "missing")}, &sb); err == nil {
+		t.Error("missing trace accepted")
+	}
+}
+
+func TestEveryFactoryBuilds(t *testing.T) {
+	for name, f := range predictorFactories {
+		p, err := f()
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if p.SizeBits() <= 0 {
+			t.Errorf("%s: SizeBits = %d", name, p.SizeBits())
+		}
+	}
+}

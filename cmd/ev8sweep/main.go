@@ -1,0 +1,149 @@
+// Command ev8sweep explores one design parameter of a predictor family
+// across the benchmark suite — the tool behind the paper's design-space
+// statements (best history lengths, §4.5; history longer than log2(size),
+// §5.3; table-size scaling, §4.6).
+//
+// Usage:
+//
+//	ev8sweep -scheme gshare -param history -values 8,12,16,20,24,28
+//	ev8sweep -scheme gshare -param size -values 12,14,16,18,20 (log2 entries)
+//	ev8sweep -scheme 2bcg -param history -values 13,17,21,25,29 (G1 length)
+//	ev8sweep -scheme 2bcg -param size -values 13,14,15,16 (log2 entries/bank)
+//	ev8sweep -scheme perceptron -param history -values 8,16,24,32
+//
+// Flags -benchmarks and -instructions scope the run; -mode selects the
+// information vector.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"ev8pred/internal/core"
+	"ev8pred/internal/frontend"
+	"ev8pred/internal/predictor"
+	"ev8pred/internal/predictor/gshare"
+	"ev8pred/internal/predictor/perceptron"
+	"ev8pred/internal/sim"
+	"ev8pred/internal/sweep"
+	"ev8pred/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "ev8sweep:", err)
+		os.Exit(1)
+	}
+}
+
+// run executes the sweep against the given arguments.
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("ev8sweep", flag.ContinueOnError)
+	var (
+		scheme       = fs.String("scheme", "gshare", "predictor family: gshare|2bcg|perceptron")
+		param        = fs.String("param", "history", "swept parameter: history|size")
+		values       = fs.String("values", "8,12,16,20,24", "comma-separated parameter values")
+		benchmarks   = fs.String("benchmarks", "all", "comma-separated benchmarks or 'all'")
+		instructions = fs.Int64("instructions", 5_000_000, "instructions per benchmark")
+		modeName     = fs.String("mode", "ghist", "information vector: ghist|lghist|ev8")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var xs []int
+	for _, s := range strings.Split(*values, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil {
+			return fmt.Errorf("bad value %q: %w", s, err)
+		}
+		xs = append(xs, v)
+	}
+
+	var profsList []workload.Profile
+	if *benchmarks == "all" {
+		profsList = workload.Benchmarks()
+	} else {
+		for _, n := range strings.Split(*benchmarks, ",") {
+			p, err := workload.ByName(strings.TrimSpace(n))
+			if err != nil {
+				return err
+			}
+			profsList = append(profsList, p)
+		}
+	}
+
+	modes := map[string]frontend.Mode{
+		"ghist":  frontend.ModeGhist(),
+		"lghist": frontend.ModeLghist(),
+		"ev8":    frontend.ModeEV8(),
+	}
+	mode, ok := modes[*modeName]
+	if !ok {
+		return fmt.Errorf("unknown mode %q", *modeName)
+	}
+
+	factory, err := buildFactory(*scheme, *param)
+	if err != nil {
+		return err
+	}
+
+	pts, err := sweep.Run(factory, xs, profsList, *instructions, sim.Options{Mode: mode})
+	if err != nil {
+		return err
+	}
+	title := fmt.Sprintf("%s sweep: %s (%s info vector, %d instr/bench)",
+		*scheme, *param, *modeName, *instructions)
+	return sweep.Table(title, *param, pts).Fprint(out)
+}
+
+// buildFactory maps (scheme, param) to a family constructor.
+func buildFactory(scheme, param string) (sweep.Factory, error) {
+	switch scheme + "/" + param {
+	case "gshare/history":
+		return func(h int) (predictor.Predictor, error) {
+			return gshare.New(1024*1024, h)
+		}, nil
+	case "gshare/size":
+		return func(log2 int) (predictor.Predictor, error) {
+			return gshare.New(1<<uint(log2), min(log2+4, 32))
+		}, nil
+	case "2bcg/history":
+		return func(h int) (predictor.Predictor, error) {
+			c := core.Config512K()
+			// Scale the three lengths around the G1 value, keeping
+			// the paper's G0 <= Meta <= G1 ordering (§4.5).
+			c.Banks[core.G1].HistLen = h
+			c.Banks[core.Meta].HistLen = h * 3 / 4
+			c.Banks[core.G0].HistLen = h * 2 / 3
+			c.Name = fmt.Sprintf("2bcg-512K-g1h%d", h)
+			return core.New(c)
+		}, nil
+	case "2bcg/size":
+		return func(log2 int) (predictor.Predictor, error) {
+			c := core.Config512K()
+			for b := core.BIM; b < core.NumBanks; b++ {
+				c.Banks[b].Entries = 1 << uint(log2)
+			}
+			c.Name = fmt.Sprintf("2bcg-4x2^%d", log2)
+			return core.New(c)
+		}, nil
+	case "perceptron/history":
+		return func(h int) (predictor.Predictor, error) {
+			return perceptron.New(1024, h)
+		}, nil
+	default:
+		return nil, fmt.Errorf("unsupported scheme/param %s/%s", scheme, param)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,75 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunGshareHistorySweep(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{
+		"-scheme", "gshare", "-param", "history", "-values", "4,12",
+		"-benchmarks", "m88ksim", "-instructions", "100000",
+	}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"gshare sweep", "m88ksim", "best history"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRun2bcgSizeSweep(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{
+		"-scheme", "2bcg", "-param", "size", "-values", "12,13",
+		"-benchmarks", "li", "-instructions", "100000", "-mode", "ev8",
+	}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "best size") {
+		t.Errorf("output:\n%s", sb.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-values", "x"}, &sb); err == nil {
+		t.Error("non-numeric value accepted")
+	}
+	if err := run([]string{"-scheme", "nonesuch", "-values", "4"}, &sb); err == nil {
+		t.Error("unknown scheme accepted")
+	}
+	if err := run([]string{"-mode", "nonesuch", "-values", "4"}, &sb); err == nil {
+		t.Error("unknown mode accepted")
+	}
+	if err := run([]string{"-benchmarks", "nonesuch", "-values", "4"}, &sb); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}
+
+func TestBuildFactoryCoverage(t *testing.T) {
+	for _, combo := range []struct{ scheme, param string }{
+		{"gshare", "history"}, {"gshare", "size"},
+		{"2bcg", "history"}, {"2bcg", "size"},
+		{"perceptron", "history"},
+	} {
+		f, err := buildFactory(combo.scheme, combo.param)
+		if err != nil {
+			t.Errorf("%s/%s: %v", combo.scheme, combo.param, err)
+			continue
+		}
+		p, err := f(12)
+		if err != nil {
+			t.Errorf("%s/%s factory(12): %v", combo.scheme, combo.param, err)
+			continue
+		}
+		if p.SizeBits() <= 0 {
+			t.Errorf("%s/%s: SizeBits = %d", combo.scheme, combo.param, p.SizeBits())
+		}
+	}
+}

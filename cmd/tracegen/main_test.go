@@ -1,0 +1,65 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ev8pred/internal/trace"
+)
+
+func TestRunGeneratesReadableTraces(t *testing.T) {
+	dir := t.TempDir()
+	var sb strings.Builder
+	err := run([]string{
+		"-benchmarks", "compress",
+		"-instructions", "100000",
+		"-dir", dir,
+	}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "compress.ev8t") {
+		t.Errorf("summary missing file name:\n%s", sb.String())
+	}
+	r, closer, err := trace.Open(filepath.Join(dir, "compress.ev8t"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closer.Close()
+	recs := trace.Collect(r, 0)
+	if len(recs) == 0 {
+		t.Fatal("empty trace written")
+	}
+}
+
+func TestRunGzip(t *testing.T) {
+	dir := t.TempDir()
+	var sb strings.Builder
+	err := run([]string{
+		"-benchmarks", "li", "-instructions", "50000", "-dir", dir, "-gzip",
+	}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "li.ev8t.gz")
+	if _, err := os.Stat(path); err != nil {
+		t.Fatal(err)
+	}
+	r, closer, err := trace.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closer.Close()
+	if recs := trace.Collect(r, 10); len(recs) != 10 {
+		t.Errorf("gzip trace yielded %d records", len(recs))
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-benchmarks", "nonesuch"}, &sb); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ev8pred/internal/trace"
+	"ev8pred/internal/workload"
+)
+
+func writeTestTrace(t *testing.T) string {
+	t.Helper()
+	prof, err := workload.ByName("perl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := workload.New(prof, 50_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "p.ev8t")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := trace.WriteAll(f, g); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunInspectsTrace(t *testing.T) {
+	path := writeTestTrace(t)
+	var sb strings.Builder
+	if err := run([]string{path}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"cond branches", "fetch blocks", path} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := run(nil, &sb); err == nil {
+		t.Error("no arguments accepted")
+	}
+	if err := run([]string{filepath.Join(t.TempDir(), "missing")}, &sb); err == nil {
+		t.Error("missing file accepted")
+	}
+}

@@ -1,0 +1,75 @@
+// Compare: the paper's §8.2 bake-off — run the EV8 predictor and the
+// global-history baselines it was compared against over the benchmark
+// suite and print a Figure 5-style table.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"ev8pred"
+)
+
+// roster builds the comparison set fresh for each benchmark (cold start,
+// as in the paper's methodology).
+func roster() (names []string, build func(string) (ev8pred.Predictor, error)) {
+	names = []string{"EV8 352Kb", "2Bc-gskew 512Kb", "gshare 2Mb", "bimode 544Kb", "YAGS 288Kb"}
+	build = func(name string) (ev8pred.Predictor, error) {
+		switch name {
+		case "EV8 352Kb":
+			return ev8pred.NewEV8(), nil
+		case "2Bc-gskew 512Kb":
+			return ev8pred.New2BcGskew(ev8pred.Config512K())
+		case "gshare 2Mb":
+			return ev8pred.NewGshare(1024*1024, 20)
+		case "bimode 544Kb":
+			return ev8pred.NewBimode(128*1024, 16*1024, 20)
+		case "YAGS 288Kb":
+			return ev8pred.NewYAGS(16*1024, 16*1024, 23)
+		default:
+			panic("unknown roster entry " + name)
+		}
+	}
+	return
+}
+
+func main() {
+	const instructions = 2_000_000
+	names, build := roster()
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprint(w, "benchmark")
+	for _, n := range names {
+		fmt.Fprintf(w, "\t%s", n)
+	}
+	fmt.Fprintln(w)
+
+	for _, prof := range ev8pred.Benchmarks() {
+		fmt.Fprint(w, prof.Name)
+		for _, n := range names {
+			p, err := build(n)
+			if err != nil {
+				log.Fatal(err)
+			}
+			// The EV8 runs under its own information vector; the
+			// academic baselines use conventional branch history,
+			// exactly as in the paper.
+			mode := ev8pred.ModeGhist()
+			if n == "EV8 352Kb" {
+				mode = ev8pred.ModeEV8()
+			}
+			r, err := ev8pred.RunBenchmark(p, prof, instructions, ev8pred.Options{Mode: mode})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Fprintf(w, "\t%.2f", r.MispKI())
+		}
+		fmt.Fprintln(w)
+	}
+	if err := w.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n(values are mispredictions per 1000 instructions; lower is better)")
+}

@@ -1,0 +1,55 @@
+// SMT: the §3 argument made executable. The EV8 is a simultaneous
+// multithreaded processor; this example interleaves several independent
+// threads into one fetch stream and shows that the global-history EV8
+// predictor holds up — the simulator keeps one history context per thread
+// (as the hardware keeps a global history register per thread), so threads
+// compete only for predictor table entries.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ev8pred"
+)
+
+func main() {
+	const (
+		perThreadInstr = 1_500_000
+		quantum        = 800 // instructions between thread switches
+	)
+	prof, err := ev8pred.BenchmarkByName("li")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Baseline: one thread alone.
+	single, err := ev8pred.RunBenchmark(ev8pred.NewEV8(), prof, perThreadInstr,
+		ev8pred.Options{Mode: ev8pred.ModeEV8()})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("1 thread : %6.2f misp/KI  (%d branches)\n", single.MispKI(), single.Branches)
+
+	// 2 and 4 parallel threads of the same application: the paper notes
+	// parallel threads from one application benefit from constructive
+	// aliasing in a global-history predictor.
+	for _, threads := range []int{2, 4} {
+		srcs := make([]ev8pred.Source, threads)
+		for i := range srcs {
+			src, err := ev8pred.NewWorkload(prof, perThreadInstr)
+			if err != nil {
+				log.Fatal(err)
+			}
+			srcs[i] = src
+		}
+		p := ev8pred.NewEV8()
+		r := ev8pred.Run(p, ev8pred.NewInterleaved(srcs, quantum),
+			ev8pred.Options{Mode: ev8pred.ModeEV8()})
+		fmt.Printf("%d threads: %6.2f misp/KI  (%d branches, %d bank conflicts)\n",
+			threads, r.MispKI(), r.Branches, p.BankConflicts())
+	}
+
+	fmt.Println("\nper-thread histories keep the multithreaded accuracy close to single-thread;")
+	fmt.Println("the threads share only the (de-aliased) predictor tables.")
+}

@@ -1,0 +1,3 @@
+module ev8pred
+
+go 1.22

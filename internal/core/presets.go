@@ -1,0 +1,115 @@
+package core
+
+// The paper's named 2Bc-gskew configurations. History-length orderings
+// follow the paper's text: "history lengths 0, 13, 16 and 23 respectively
+// for BIM, G0, Meta and G1" (§8.2), i.e. G0 gets the medium length and G1
+// the longest (§4.5).
+
+// K is 1024 entries.
+const K = 1024
+
+// Config256K is the 4×32K-entry (256 Kbit) 2Bc-gskew of Figure 5 with the
+// best conventional-history lengths (0, 13, 16, 23).
+func Config256K() Config {
+	return Config{
+		Banks: [NumBanks]BankConfig{
+			BIM:  {Entries: 32 * K, HistLen: 0},
+			G0:   {Entries: 32 * K, HistLen: 13},
+			G1:   {Entries: 32 * K, HistLen: 23},
+			Meta: {Entries: 32 * K, HistLen: 16},
+		},
+		PartialUpdate: true,
+		Name:          "2Bc-gskew-256Kbit",
+	}
+}
+
+// Config512K is the 4×64K-entry (512 Kbit) 2Bc-gskew of Figures 5, 7 and 8
+// with the best conventional-history lengths (0, 17, 20, 27).
+func Config512K() Config {
+	return Config{
+		Banks: [NumBanks]BankConfig{
+			BIM:  {Entries: 64 * K, HistLen: 0},
+			G0:   {Entries: 64 * K, HistLen: 17},
+			G1:   {Entries: 64 * K, HistLen: 27},
+			Meta: {Entries: 64 * K, HistLen: 20},
+		},
+		PartialUpdate: true,
+		Name:          "2Bc-gskew-512Kbit",
+	}
+}
+
+// Config512KShortHist is the Figure 6 ablation: the 512 Kbit predictor
+// restricted to history length log2(table size) = 16 on every
+// history-indexed bank.
+func Config512KShortHist() Config {
+	c := Config512K()
+	c.Banks[G0].HistLen = 16
+	c.Banks[G1].HistLen = 16
+	c.Banks[Meta].HistLen = 16
+	c.Name = "2Bc-gskew-512Kbit-h16"
+	return c
+}
+
+// Config256KShortHist is the Figure 6 ablation for the 256 Kbit predictor
+// (history length log2(32K) = 15 everywhere).
+func Config256KShortHist() Config {
+	c := Config256K()
+	c.Banks[G0].HistLen = 15
+	c.Banks[G1].HistLen = 15
+	c.Banks[Meta].HistLen = 15
+	c.Name = "2Bc-gskew-256Kbit-h15"
+	return c
+}
+
+// Config512KLghist is the 512 Kbit predictor with the best
+// block-compressed-history lengths of §8.3: (15, 17, 23) for G0, Meta, G1
+// ("the optimal lghist history length is shorter than the optimal real
+// branch history").
+func Config512KLghist() Config {
+	c := Config512K()
+	c.Banks[G0].HistLen = 15
+	c.Banks[G1].HistLen = 23
+	c.Banks[Meta].HistLen = 17
+	c.Name = "2Bc-gskew-512Kbit-lghist"
+	return c
+}
+
+// ConfigSmallBIM is the first Figure 8 step: the 512 Kbit predictor with
+// the BIM table reduced from 64K to 16K entries (§4.6).
+func ConfigSmallBIM() Config {
+	c := Config512KLghist()
+	c.Banks[BIM].Entries = 16 * K
+	c.Name = "2Bc-gskew-smallBIM"
+	return c
+}
+
+// ConfigEV8Size is the Table 1 memory configuration (352 Kbits: 208 Kbit
+// prediction + 144 Kbit hysteresis): small BIM plus half-size hysteresis
+// for G0 and Meta, with the EV8 history lengths (4, 13, 21, 15).
+func ConfigEV8Size() Config {
+	return Config{
+		Banks: [NumBanks]BankConfig{
+			BIM:  {Entries: 16 * K, HystEntries: 16 * K, HistLen: 4},
+			G0:   {Entries: 64 * K, HystEntries: 32 * K, HistLen: 13},
+			G1:   {Entries: 64 * K, HystEntries: 64 * K, HistLen: 21},
+			Meta: {Entries: 64 * K, HystEntries: 32 * K, HistLen: 15},
+		},
+		PartialUpdate: true,
+		Name:          "2Bc-gskew-EV8size-352Kbit",
+	}
+}
+
+// Config4M is the Figure 10 limit study: a 4×1M-entry (8 Mbit) 2Bc-gskew
+// with correspondingly longer histories.
+func Config4M() Config {
+	return Config{
+		Banks: [NumBanks]BankConfig{
+			BIM:  {Entries: 1024 * K, HistLen: 0},
+			G0:   {Entries: 1024 * K, HistLen: 21},
+			G1:   {Entries: 1024 * K, HistLen: 31},
+			Meta: {Entries: 1024 * K, HistLen: 25},
+		},
+		PartialUpdate: true,
+		Name:          "2Bc-gskew-4x1M",
+	}
+}

@@ -1,0 +1,104 @@
+// Package ev8 implements the Alpha EV8 conditional branch predictor as the
+// paper describes it (§5–§7): a 352 Kbit 2Bc-gskew predictor (package core)
+// behind the hardware-constrained index functions of §7, 4-way
+// bank-interleaved with the conflict-free bank-number computation of §6,
+// and indexed by the EV8 information vector (three-fetch-blocks-old lghist
+// plus path information, package frontend).
+package ev8
+
+import "ev8pred/internal/bitutil"
+
+// NumPredictorBanks is the interleaving factor: the predictor is 4-way
+// bank interleaved and each bank is single ported (§6).
+const NumPredictorBanks = 4
+
+// BankNumber implements the §6.2 bank-number computation. For an
+// instruction fetch block A, it takes the address of Y (the fetch block
+// TWO slots before A) and the bank number accessed by Z (the block
+// immediately before A), and returns A's bank:
+//
+//	candidate = (y6, y5)
+//	if candidate == bank(Z) { candidate = (y6, y5 XOR 1) }
+//
+// The computation needs only bits available one cycle before the predictor
+// access ("two-block ahead"), and guarantees by construction that A and Z
+// never collide on a bank — BanksConflictFree is the property test.
+func BankNumber(yAddr uint64, zBank uint8) uint8 {
+	cand := uint8(bitutil.Field(yAddr, 5, 2)) // (y6,y5)
+	if cand == zBank&3 {
+		cand ^= 1
+	}
+	return cand
+}
+
+// blockBank remembers the bank assigned to one fetch block.
+type blockBank struct {
+	addr uint64
+	bank uint8
+}
+
+// bankSequencer tracks the running bank assignment across the dynamic
+// fetch-block sequence. It must observe every completed fetch block (via
+// Predictor.ObserveBlock) to mirror the hardware, which accesses the
+// predictor for every block whether or not it contains branches.
+type bankSequencer struct {
+	// recent is a ring of the banks assigned to the last few blocks;
+	// predictions for a block may be requested slightly after the block
+	// sequence has moved on, so lookups go by block address.
+	recent [8]blockBank
+	head   int
+
+	curAddr    uint64 // in-progress block address
+	curBank    uint8
+	prevAddr   uint64 // address of the block before the in-progress one (Z at completion time becomes Y)
+	lastIssued uint8  // bank of the most recently completed block
+	started    bool
+}
+
+// observe processes a completed fetch block and returns the bank the block
+// was assigned. The block's own assignment is recorded, and the NEXT
+// block's bank is computed two-block-ahead from the address of the
+// completed block's predecessor (which plays Y for the next block) and the
+// completed block's own bank (which plays bank(Z)).
+func (s *bankSequencer) observe(addr, next uint64) uint8 {
+	if !s.started || addr != s.curAddr {
+		// Cold start or resynchronization (e.g. an SMT thread switch):
+		// adopt the block with a bank guaranteed to differ from the
+		// most recently issued one, preserving the §6.2 invariant.
+		s.curAddr = addr
+		s.curBank = BankNumber(s.prevAddr, s.lastIssued)
+		s.started = true
+	}
+	bank := s.curBank
+	s.lastIssued = bank
+	s.recent[s.head] = blockBank{addr: s.curAddr, bank: bank}
+	s.head = (s.head + 1) % len(s.recent)
+
+	nextBank := BankNumber(s.prevAddr, s.curBank)
+	s.prevAddr = s.curAddr
+	s.curAddr = next
+	s.curBank = nextBank
+	return bank
+}
+
+// bankFor returns the bank assigned to the block at addr: the in-progress
+// block, one of the recently completed ones, or (when the sequencer has
+// not seen the block — e.g. the predictor is used without block
+// observation) a stateless fallback on the block's own address bits.
+func (s *bankSequencer) bankFor(addr uint64) uint8 {
+	if s.started && addr == s.curAddr {
+		return s.curBank
+	}
+	for i := 0; i < len(s.recent); i++ {
+		j := (s.head - 1 - i + 2*len(s.recent)) % len(s.recent)
+		if s.recent[j].addr == addr {
+			return s.recent[j].bank
+		}
+	}
+	return uint8(bitutil.Field(addr, 5, 2))
+}
+
+// reset restores the power-on state.
+func (s *bankSequencer) reset() {
+	*s = bankSequencer{}
+}

@@ -1,0 +1,172 @@
+package ev8
+
+import (
+	"fmt"
+
+	"ev8pred/internal/core"
+	"ev8pred/internal/frontend"
+	"ev8pred/internal/history"
+	"ev8pred/internal/predictor"
+)
+
+// Config parameterizes the EV8 predictor build.
+type Config struct {
+	// Index selects index-function variants (Figure 9 ablations).
+	Index IndexOptions
+	// PartialUpdate selects the §4.2 update policy (the EV8 default).
+	PartialUpdate bool
+	// Name overrides the derived report name.
+	Name string
+}
+
+// DefaultConfig is the as-shipped Alpha EV8 predictor configuration.
+func DefaultConfig() Config {
+	return Config{PartialUpdate: true}
+}
+
+// Predictor is the Alpha EV8 conditional branch predictor: the Table 1
+// 2Bc-gskew machine behind the §7 hardware index functions and the §6
+// bank-interleaving discipline. It expects the EV8 information vector
+// (frontend.ModeEV8: three-blocks-old lghist with path information) and,
+// to mirror the hardware exactly, wants to observe every completed fetch
+// block via ObserveBlock (package sim wires this automatically).
+type Predictor struct {
+	core *core.Predictor
+	seq  bankSequencer
+	name string
+
+	// bank-scheduling statistics for the §6 conflict-freedom checks
+	blocksSeen    int64
+	bankConflicts int64
+	lastBank      int16
+	lastAddr      uint64
+	bankUse       [NumPredictorBanks]int64
+
+	// fetch-cycle model: the EV8 fetches up to two blocks per cycle
+	// (§2), so up to 16 conditional branches are predicted per cycle.
+	cycles        int64
+	cycleSlot     int // blocks already fetched this cycle (0 or 1)
+	cycleConds    int // conditional branches accumulated this cycle
+	condsPerCycle [17]int64
+}
+
+// New builds the EV8 predictor.
+func New(cfg Config) (*Predictor, error) {
+	p := &Predictor{lastBank: -1}
+	coreCfg := core.ConfigEV8Size()
+	coreCfg.PartialUpdate = cfg.PartialUpdate
+	coreCfg.Indexes = newIndexSet(&p.seq, cfg.Index, coreCfg)
+	coreCfg.Name = cfg.Name
+	if coreCfg.Name == "" {
+		coreCfg.Name = "EV8-352Kbit"
+		if cfg.Index.AddressOnlyWordline {
+			coreCfg.Name += "-addrWL"
+		}
+	}
+	c, err := core.New(coreCfg)
+	if err != nil {
+		return nil, fmt.Errorf("ev8: %w", err)
+	}
+	p.core = c
+	p.name = coreCfg.Name
+	return p, nil
+}
+
+// MustNew is New but panics on error.
+func MustNew(cfg Config) *Predictor {
+	p, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// ObserveBlock implements the sim.BlockObserver wiring: the hardware
+// accesses the predictor for every fetch block, so the bank sequencer
+// advances on every block, branches or not. It also audits the §6.2
+// guarantee that two dynamically successive blocks never share a bank.
+func (p *Predictor) ObserveBlock(b frontend.Block) {
+	bank := p.seq.observe(b.Addr, b.Next)
+	p.bankUse[bank&3]++
+	p.blocksSeen++
+	if p.lastBank >= 0 && int16(bank) == p.lastBank {
+		p.bankConflicts++
+	}
+	p.lastBank = int16(bank)
+	p.lastAddr = b.Addr
+
+	// Fetch-cycle pairing: two dynamically successive blocks share a
+	// cycle; the §6.2 bank discipline is exactly what makes the paired
+	// accesses conflict-free on single-ported banks. Count the
+	// conditional branches predicted in each cycle (up to 8+8 = 16).
+	p.cycleConds += b.CondCount
+	p.cycleSlot++
+	if p.cycleSlot == 2 {
+		p.finishCycle()
+	}
+}
+
+// finishCycle closes the current fetch cycle.
+func (p *Predictor) finishCycle() {
+	if p.cycleConds > 16 {
+		p.cycleConds = 16
+	}
+	p.condsPerCycle[p.cycleConds]++
+	p.cycles++
+	p.cycleSlot = 0
+	p.cycleConds = 0
+}
+
+// Cycles returns the number of two-block fetch cycles modeled.
+func (p *Predictor) Cycles() int64 { return p.cycles }
+
+// CondsPerCycleHistogram returns how many cycles predicted k conditional
+// branches, k = 0..16.
+func (p *Predictor) CondsPerCycleHistogram() [17]int64 { return p.condsPerCycle }
+
+// BankConflicts returns the number of successive-block bank collisions
+// observed (must be zero; exposed so integration tests can prove it).
+func (p *Predictor) BankConflicts() int64 { return p.bankConflicts }
+
+// BlocksObserved returns the number of fetch blocks sequenced.
+func (p *Predictor) BlocksObserved() int64 { return p.blocksSeen }
+
+// BankUse returns per-bank access counts (for the §7.2 uniformity checks).
+func (p *Predictor) BankUse() [NumPredictorBanks]int64 { return p.bankUse }
+
+// Predict implements predictor.Predictor.
+func (p *Predictor) Predict(info *history.Info) bool { return p.core.Predict(info) }
+
+// Update implements predictor.Predictor.
+func (p *Predictor) Update(info *history.Info, taken bool) { p.core.Update(info, taken) }
+
+// Components exposes the per-bank predictions (tests, ablations).
+func (p *Predictor) Components(info *history.Info) (pbim, p0, p1, pmeta, final bool) {
+	return p.core.Components(info)
+}
+
+// Name implements predictor.Predictor.
+func (p *Predictor) Name() string { return p.name }
+
+// SizeBits implements predictor.Predictor (352 Kbits).
+func (p *Predictor) SizeBits() int { return p.core.SizeBits() }
+
+// PredictionBits returns the 208 Kbit prediction-array budget.
+func (p *Predictor) PredictionBits() int { return p.core.PredictionBits() }
+
+// HysteresisBits returns the 144 Kbit hysteresis-array budget.
+func (p *Predictor) HysteresisBits() int { return p.core.HysteresisBits() }
+
+// Reset implements predictor.Predictor.
+func (p *Predictor) Reset() {
+	p.core.Reset()
+	p.seq.reset()
+	p.blocksSeen, p.bankConflicts = 0, 0
+	p.lastBank = -1
+	p.lastAddr = 0
+	p.bankUse = [NumPredictorBanks]int64{}
+	p.cycles, p.cycleSlot, p.cycleConds = 0, 0, 0
+	p.condsPerCycle = [17]int64{}
+}
+
+var _ predictor.Predictor = (*Predictor)(nil)

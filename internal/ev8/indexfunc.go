@@ -1,0 +1,217 @@
+package ev8
+
+import (
+	"ev8pred/internal/bitutil"
+	"ev8pred/internal/core"
+	"ev8pred/internal/history"
+)
+
+// This file implements the §7 index functions. Physical structure of each
+// index (paper notation, i0 = least significant):
+//
+//	(i1,i0)              bank number            — §6.2 computation
+//	(i4,i3,i2)           word offset (unshuffle) — wide XOR trees allowed
+//	(i10,...,i5)         wordline               — UNHASHED, shared by all
+//	                                              four tables
+//	(i15,...,i11)        column                 — each bit one 2-input XOR
+//	                                              (G0/G1/Meta; BIM has
+//	                                              (i13,i12,i11))
+//
+// The shared wordline is (i10..i5) = (h3,h2,h1,h0,a8,a7) (§7.3). BIM's
+// remaining bits use path information from the last fetch block Z (§7.4).
+//
+// Where the published text of the paper is damaged (the G0 column
+// equations and parts of the unshuffle formulas lost their operands to
+// typesetting), the functions below reconstruct them under the stated
+// constraints and the three §7.5 design principles:
+//
+//  1. uniform column distribution — prefer history bits over address bits;
+//  2. one-or-two-bit history differences must not collide in any table —
+//     every history bit of a table's window appears in its wordline,
+//     column, or unshuffle bits;
+//  3. conflicts should not repeat across tables — the three tables XOR
+//     different pairs of history bits in their column functions.
+//
+// Reconstructed terms are marked "(reconstructed)" below.
+
+// xorTree is one index bit: the XOR (parity) of selected PC bits (aMask,
+// bit k = the paper's a_k), history bits (hMask, bit k = h_k), and bits of
+// the previous fetch blocks Z and Y (zMask/yMask over Path addresses).
+type xorTree struct {
+	aMask uint64
+	hMask uint64
+	zMask uint64
+	yMask uint64
+}
+
+// eval computes the bit for an information vector.
+func (x xorTree) eval(info *history.Info) uint64 {
+	v := bitutil.ParityMasked(info.PC, x.aMask) ^
+		bitutil.ParityMasked(info.Hist, x.hMask)
+	if x.zMask != 0 {
+		v ^= bitutil.ParityMasked(info.Path[0], x.zMask)
+	}
+	if x.yMask != 0 {
+		v ^= bitutil.ParityMasked(info.Path[1], x.yMask)
+	}
+	return v
+}
+
+// bits builds a mask from bit positions, e.g. a(11, 5) = a11 XOR a5.
+func bits(ps ...int) uint64 {
+	var m uint64
+	for _, p := range ps {
+		m |= 1 << uint(p)
+	}
+	return m
+}
+
+// tableIndex describes one logical table's full index function.
+type tableIndex struct {
+	column    []xorTree  // most significant first: i15, i14, ... (or i13.. for BIM)
+	unshuffle [3]xorTree // i4, i3, i2
+}
+
+// evalIndex assembles the table index from bank, unshuffle, wordline and
+// column fields.
+func (t *tableIndex) evalIndex(info *history.Info, bank uint8, wordline uint64) uint64 {
+	idx := uint64(bank & 3)
+	// Unshuffle: (i4,i3,i2).
+	off := t.unshuffle[0].eval(info)<<2 | t.unshuffle[1].eval(info)<<1 | t.unshuffle[2].eval(info)
+	idx |= off << 2
+	idx |= wordline << 5
+	col := uint64(0)
+	for _, x := range t.column {
+		col = col<<1 | x.eval(info)
+	}
+	idx |= col << 11
+	return idx
+}
+
+// wordlineEV8 computes the shared unhashed wordline (i10..i5) =
+// (h3,h2,h1,h0,a8,a7) (§7.3). The bits cannot be hashed: decode is on the
+// critical path.
+func wordlineEV8(info *history.Info) uint64 {
+	return bitutil.Field(info.PC, 7, 2) | bitutil.Field(info.Hist, 0, 4)<<2
+}
+
+// wordlineAddrOnly is the Figure 9 "address only" variant: six unhashed PC
+// bits (a12..a7).
+func wordlineAddrOnly(info *history.Info) uint64 {
+	return bitutil.Field(info.PC, 7, 6)
+}
+
+// The four tables' index functions (§7.4–7.5).
+
+// bimIndex: BIM is a 16K-entry table (14 index bits: 3 column bits
+// i13..i11). Extra bits (§7.4): (i13,i12,i11,i4,i3,i2) =
+// (a11, a10^z5, a9^z6, a4, a3^z5, a2^z6) — the z terms are
+// (reconstructed); the paper's text shows (a11, ?, ?, a4, ?, ?) and states
+// that path information from block Z is used.
+var bimIndex = tableIndex{
+	column: []xorTree{
+		{aMask: bits(11)},                 // i13 = a11
+		{aMask: bits(10), zMask: bits(5)}, // i12 = a10^z5 (reconstructed)
+		{aMask: bits(9), zMask: bits(6)},  // i11 = a9^z6  (reconstructed)
+	},
+	unshuffle: [3]xorTree{
+		{aMask: bits(4)},                 // i4 = a4
+		{aMask: bits(3), zMask: bits(5)}, // i3 = a3^z5 (reconstructed)
+		{aMask: bits(2), zMask: bits(6)}, // i2 = a2^z6 (reconstructed)
+	},
+}
+
+// g0Index: history length 13 (h0..h12). G0 and Meta share i15 and i14
+// (§7.5), so G0's (i15,i14) equal Meta's (h7^h11, h8^h12). The remaining
+// column bits and the i4 unshuffle tree are (reconstructed) under the
+// §7.5 principles; i3 and i2 are the paper's published trees.
+var g0Index = tableIndex{
+	column: []xorTree{
+		{hMask: bits(7, 11)},              // i15 = h7^h11 (shared with Meta)
+		{hMask: bits(8, 12)},              // i14 = h8^h12 (shared with Meta)
+		{hMask: bits(4, 10)},              // i13 = h4^h10 (reconstructed)
+		{hMask: bits(5, 12)},              // i12 = h5^h12 (reconstructed)
+		{aMask: bits(10), hMask: bits(6)}, // i11 = a10^h6 (reconstructed)
+	},
+	unshuffle: [3]xorTree{
+		{aMask: bits(4, 12), hMask: bits(5, 8, 11), zMask: bits(5)},  // i4 (reconstructed)
+		{aMask: bits(11, 5), hMask: bits(9, 10, 12), zMask: bits(6)}, // i3 = a11^h9^h10^h12^z6^a5
+		{aMask: bits(2, 14, 10, 6), hMask: bits(6, 4, 7)},            // i2 = a2^a14^a10^h6^h4^h7^a6
+	},
+}
+
+// g1Index: history length 21 (h0..h20). Column and unshuffle trees are the
+// paper's published §7.5 equations.
+var g1Index = tableIndex{
+	column: []xorTree{
+		{hMask: bits(19, 12)}, // i15 = h19^h12
+		{hMask: bits(18, 11)}, // i14 = h18^h11
+		{hMask: bits(17, 10)}, // i13 = h17^h10
+		{hMask: bits(16, 4)},  // i12 = h16^h4
+		{hMask: bits(15, 20)}, // i11 = h15^h20
+	},
+	unshuffle: [3]xorTree{
+		{hMask: bits(9, 14, 15, 16), zMask: bits(6)}, // i4 = h9^h14^h15^h16^z6
+		{aMask: bits(4, 11, 14, 6, 3, 10, 13),
+			hMask: bits(4, 6, 5, 11, 13, 18, 19, 20), zMask: bits(5)}, // i3
+		{aMask: bits(2, 5, 9),
+			hMask: bits(4, 8, 7, 10, 12, 13, 14, 17)}, // i2
+	},
+}
+
+// metaIndex: history length 15 (h0..h14). Column and unshuffle trees are
+// the paper's published §7.5 equations.
+var metaIndex = tableIndex{
+	column: []xorTree{
+		{hMask: bits(7, 11)},             // i15 = h7^h11
+		{hMask: bits(8, 12)},             // i14 = h8^h12
+		{hMask: bits(5, 13)},             // i13 = h5^h13
+		{hMask: bits(4, 9)},              // i12 = h4^h9
+		{aMask: bits(9), hMask: bits(6)}, // i11 = a9^h6
+	},
+	unshuffle: [3]xorTree{
+		{aMask: bits(4, 10, 5), hMask: bits(7, 10, 14, 13), zMask: bits(5)},    // i4
+		{aMask: bits(3, 12, 14, 6), hMask: bits(4, 6, 8, 14)},                  // i3
+		{aMask: bits(2, 9, 11, 13), hMask: bits(5, 9, 11, 12), zMask: bits(6)}, // i2
+	},
+}
+
+// IndexOptions selects index-function variants for the Figure 9 ablation.
+type IndexOptions struct {
+	// AddressOnlyWordline replaces the (h3..h0,a8,a7) shared wordline
+	// with six PC bits (a12..a7) — the "address only" series of Fig. 9.
+	AddressOnlyWordline bool
+}
+
+// newIndexSet builds the core.IndexSet implementing the EV8 hardware
+// index functions, with bank numbers supplied by the sequencer. Per-table
+// history lengths are applied by masking info.Hist before evaluating each
+// table's trees (the wordline always sees the masked BIM history — h3..h0
+// are within every table's window).
+func newIndexSet(seq *bankSequencer, opt IndexOptions, cfg core.Config) core.IndexSet {
+	histMask := [core.NumBanks]uint64{}
+	for b := core.BIM; b < core.NumBanks; b++ {
+		histMask[b] = bitutil.Mask(cfg.Banks[b].HistLen)
+	}
+	wordline := wordlineEV8
+	if opt.AddressOnlyWordline {
+		wordline = wordlineAddrOnly
+	}
+	tables := [core.NumBanks]*tableIndex{
+		core.BIM:  &bimIndex,
+		core.G0:   &g0Index,
+		core.G1:   &g1Index,
+		core.Meta: &metaIndex,
+	}
+	return func(info *history.Info) [core.NumBanks]uint64 {
+		bank := seq.bankFor(info.BlockPC)
+		var idx [core.NumBanks]uint64
+		for b := core.BIM; b < core.NumBanks; b++ {
+			masked := *info
+			masked.Hist = info.Hist & histMask[b]
+			wl := wordline(&masked)
+			idx[b] = tables[b].evalIndex(&masked, bank, wl)
+		}
+		return idx
+	}
+}

@@ -1,0 +1,114 @@
+package ev8
+
+import (
+	"fmt"
+
+	"ev8pred/internal/bitutil"
+	"ev8pred/internal/core"
+)
+
+// This file models the physical organization of the predictor memory
+// (§7.1): although the predictor has four logical components, it is
+// implemented as only EIGHT memory arrays — for each of the four banks,
+// one prediction array and one hysteresis array. Each bank has 64 word
+// lines; a word line holds 32 8-bit prediction words for each of G0, G1
+// and Meta, plus 8 8-bit words for BIM. A prediction read selects the
+// bank, then a word line, then one 8-bit column word per logical table,
+// and finally "unshuffles" the word through the XOR permutation.
+//
+// The geometry here is derived from Table 1 and §7.1 and cross-validated
+// against the logical index functions by TestPhysicalGeometryMatchesTable1
+// and TestDecomposeComposeRoundTrip.
+
+// Physical geometry constants (§7.1).
+const (
+	// WordlinesPerBank is the number of word lines in each bank.
+	WordlinesPerBank = 64
+	// WordBits is the width of one prediction word (8 predictions read
+	// together, one per instruction slot of a fetch block).
+	WordBits = 8
+	// WordsPerWordlineG is the number of 8-bit words each of G0, G1 and
+	// Meta contributes to one word line.
+	WordsPerWordlineG = 32
+	// WordsPerWordlineBIM is BIM's word count per word line.
+	WordsPerWordlineBIM = 8
+	// NumArrays is the total number of physical memory arrays: a
+	// prediction and a hysteresis array per bank.
+	NumArrays = NumPredictorBanks * 2
+)
+
+// PhysAddr locates one prediction bit in the physical organization.
+type PhysAddr struct {
+	// Bank is the interleave bank (0..3), from the §6.2 computation.
+	Bank uint32
+	// Wordline selects one of the 64 word lines.
+	Wordline uint32
+	// Word selects the table's 8-bit word within the word line.
+	Word uint32
+	// Bit is the position within the word after unshuffling.
+	Bit uint32
+}
+
+// String renders the address for diagnostics.
+func (a PhysAddr) String() string {
+	return fmt.Sprintf("bank %d, wordline %d, word %d, bit %d", a.Bank, a.Wordline, a.Word, a.Bit)
+}
+
+// columnBits returns the column width for a logical table with the given
+// total index width: idx = bank(2) | bit(3) | wordline(6) | column(rest).
+func columnBits(indexBits int) int { return indexBits - 11 }
+
+// Decompose maps a logical table index (as produced by the §7 index
+// functions) to its physical location. indexBits is the table's total
+// index width (16 for G0/G1/Meta, 14 for BIM).
+func Decompose(idx uint64, indexBits int) (PhysAddr, error) {
+	if indexBits < 12 || indexBits > 30 {
+		return PhysAddr{}, fmt.Errorf("ev8: index width %d out of range", indexBits)
+	}
+	if idx >= 1<<uint(indexBits) {
+		return PhysAddr{}, fmt.Errorf("ev8: index %#x exceeds %d bits", idx, indexBits)
+	}
+	return PhysAddr{
+		Bank:     uint32(bitutil.Field(idx, 0, 2)),
+		Bit:      uint32(bitutil.Field(idx, 2, 3)),
+		Wordline: uint32(bitutil.Field(idx, 5, 6)),
+		Word:     uint32(idx >> 11),
+	}, nil
+}
+
+// Compose is the inverse of Decompose.
+func Compose(a PhysAddr, indexBits int) (uint64, error) {
+	cb := columnBits(indexBits)
+	if cb < 1 {
+		return 0, fmt.Errorf("ev8: index width %d out of range", indexBits)
+	}
+	if a.Bank > 3 || a.Bit > 7 || a.Wordline >= WordlinesPerBank || a.Word >= 1<<uint(cb) {
+		return 0, fmt.Errorf("ev8: physical address %v out of range for %d-bit index", a, indexBits)
+	}
+	return uint64(a.Bank) | uint64(a.Bit)<<2 | uint64(a.Wordline)<<5 | uint64(a.Word)<<11, nil
+}
+
+// TableGeometry summarizes a logical table's physical footprint.
+type TableGeometry struct {
+	Bank             core.Bank
+	IndexBits        int
+	WordsPerWordline int
+	EntriesPerBank   int
+}
+
+// Geometry returns the physical footprint of each logical table under the
+// Table 1 configuration, for validation and documentation.
+func Geometry() [core.NumBanks]TableGeometry {
+	cfg := core.ConfigEV8Size()
+	var out [core.NumBanks]TableGeometry
+	for b := core.BIM; b < core.NumBanks; b++ {
+		bits := bitutil.Log2(uint64(cfg.Banks[b].Entries))
+		out[b] = TableGeometry{
+			Bank:             b,
+			IndexBits:        bits,
+			WordsPerWordline: 1 << uint(columnBits(bits)),
+			EntriesPerBank:   cfg.Banks[b].Entries / NumPredictorBanks,
+		}
+	}
+	return out
+}

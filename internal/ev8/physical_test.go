@@ -1,0 +1,116 @@
+package ev8
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ev8pred/internal/core"
+	"ev8pred/internal/history"
+)
+
+func TestPhysicalGeometryMatchesTable1(t *testing.T) {
+	// §7.1: "Each bank features 64 word lines. Each word line contains
+	// 32 8-bit prediction words from G0, G1 and Meta, and 8 8-bit
+	// prediction words from BIM."
+	g := Geometry()
+	for _, b := range []core.Bank{core.G0, core.G1, core.Meta} {
+		if g[b].WordsPerWordline != WordsPerWordlineG {
+			t.Errorf("%v: %d words per wordline, want %d", b, g[b].WordsPerWordline, WordsPerWordlineG)
+		}
+		if g[b].IndexBits != 16 {
+			t.Errorf("%v: %d index bits, want 16", b, g[b].IndexBits)
+		}
+		// 64 wordlines x 32 words x 8 bits = 16K entries per bank.
+		if g[b].EntriesPerBank != WordlinesPerBank*WordsPerWordlineG*WordBits {
+			t.Errorf("%v: %d entries per bank", b, g[b].EntriesPerBank)
+		}
+	}
+	if g[core.BIM].WordsPerWordline != WordsPerWordlineBIM {
+		t.Errorf("BIM: %d words per wordline, want %d", g[core.BIM].WordsPerWordline, WordsPerWordlineBIM)
+	}
+	if g[core.BIM].EntriesPerBank != WordlinesPerBank*WordsPerWordlineBIM*WordBits {
+		t.Errorf("BIM: %d entries per bank", g[core.BIM].EntriesPerBank)
+	}
+	if NumArrays != 8 {
+		t.Errorf("NumArrays = %d, want 8 (§7.1: eight memory arrays)", NumArrays)
+	}
+}
+
+func TestDecomposeComposeRoundTrip(t *testing.T) {
+	for _, bits := range []int{14, 16} {
+		f := func(raw uint32) bool {
+			idx := uint64(raw) & (1<<uint(bits) - 1)
+			a, err := Decompose(idx, bits)
+			if err != nil {
+				return false
+			}
+			back, err := Compose(a, bits)
+			return err == nil && back == idx
+		}
+		if err := quick.Check(f, nil); err != nil {
+			t.Errorf("width %d: %v", bits, err)
+		}
+	}
+}
+
+func TestDecomposeFieldMeaning(t *testing.T) {
+	// idx = bank | bit<<2 | wordline<<5 | word<<11.
+	idx := uint64(2) | 5<<2 | 63<<5 | 17<<11
+	a, err := Decompose(idx, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Bank != 2 || a.Bit != 5 || a.Wordline != 63 || a.Word != 17 {
+		t.Errorf("decomposed = %v", a)
+	}
+}
+
+func TestDecomposeComposeValidation(t *testing.T) {
+	if _, err := Decompose(0, 8); err == nil {
+		t.Error("too-narrow index accepted")
+	}
+	if _, err := Decompose(1<<16, 16); err == nil {
+		t.Error("out-of-range index accepted")
+	}
+	if _, err := Compose(PhysAddr{Bank: 4}, 16); err == nil {
+		t.Error("bank 4 accepted")
+	}
+	if _, err := Compose(PhysAddr{Word: WordsPerWordlineG}, 16); err == nil {
+		t.Error("word beyond G-table column accepted")
+	}
+	if _, err := Compose(PhysAddr{Word: WordsPerWordlineBIM}, 14); err == nil {
+		t.Error("word beyond BIM column accepted")
+	}
+}
+
+func TestIndexFunctionsRespectPhysicalBounds(t *testing.T) {
+	// Every index the EV8 index set produces must decompose into a legal
+	// physical address for its table geometry.
+	p := MustNew(DefaultConfig())
+	idxFn := p.core.Config().Indexes
+	g := Geometry()
+	for i := 0; i < 5000; i++ {
+		in := infoFor(uint64(i))
+		idx := idxFn(in)
+		for b := core.BIM; b < core.NumBanks; b++ {
+			a, err := Decompose(idx[b], g[b].IndexBits)
+			if err != nil {
+				t.Fatalf("bank %v: %v", b, err)
+			}
+			if a.Word >= uint32(g[b].WordsPerWordline) {
+				t.Fatalf("bank %v: word %d exceeds geometry", b, a.Word)
+			}
+		}
+	}
+}
+
+// infoFor builds a pseudo-random info vector for physical-bounds checks.
+func infoFor(i uint64) *history.Info {
+	x := i * 0x9e3779b97f4a7c15
+	return &history.Info{
+		PC:      (x >> 3) &^ 3,
+		BlockPC: (x >> 3) &^ 31,
+		Hist:    x * 0xbf58476d1ce4e5b9,
+		Path:    [3]uint64{x ^ 0xaaaa, x ^ 0x5555, x ^ 0x3333},
+	}
+}

@@ -1,0 +1,62 @@
+package ev8
+
+import (
+	"testing"
+
+	"ev8pred/internal/core"
+	"ev8pred/internal/history"
+	"ev8pred/internal/rng"
+)
+
+// TestBlockPredictionsShareOneWord proves the §6.1 guarantee: for all
+// eight instructions of one fetch block (same block address, history and
+// path), the four table indices differ ONLY in the word-offset bits
+// (i4,i3,i2) — so the eight predictions of a block lie in a single 8-bit
+// word of each table and are read with one array access.
+func TestBlockPredictionsShareOneWord(t *testing.T) {
+	p := MustNew(DefaultConfig())
+	idxFn := p.core.Config().Indexes
+	r := rng.New(61, 3)
+	for trial := 0; trial < 5000; trial++ {
+		blockPC := uint64(r.Intn(1<<22)) * 32 // aligned region start
+		base := &history.Info{
+			BlockPC: blockPC,
+			Hist:    r.Uint64(),
+			Path:    [3]uint64{r.Uint64(), r.Uint64(), r.Uint64()},
+		}
+		var wordIdx [core.NumBanks]uint64
+		for slot := 0; slot < 8; slot++ {
+			in := *base
+			in.PC = blockPC + uint64(slot)*4
+			idx := idxFn(&in)
+			for b := core.BIM; b < core.NumBanks; b++ {
+				word := idx[b] &^ (7 << 2) // drop the offset bits i4..i2
+				if slot == 0 {
+					wordIdx[b] = word
+				} else if word != wordIdx[b] {
+					t.Fatalf("trial %d bank %v: slot %d reads word %#x, slot 0 reads %#x",
+						trial, b, slot, word, wordIdx[b])
+				}
+			}
+		}
+	}
+}
+
+// TestUnshuffleDisperses checks that the word-offset (unshuffle) bits do
+// depend on history — the §7.1 point of the XOR permutation: the same
+// static slot position maps to different word bits under different
+// histories, dispersing predictions over the array.
+func TestUnshuffleDisperses(t *testing.T) {
+	p := MustNew(DefaultConfig())
+	idxFn := p.core.Config().Indexes
+	in := &history.Info{PC: 0x8004, BlockPC: 0x8000}
+	seen := map[uint64]bool{}
+	r := rng.New(17, 4)
+	for i := 0; i < 256; i++ {
+		in.Hist = r.Uint64()
+		seen[idxFn(in)[core.G1]&(7<<2)] = true
+	}
+	if len(seen) < 4 {
+		t.Errorf("G1 unshuffle visited only %d of 8 word offsets over 256 histories", len(seen))
+	}
+}

@@ -1,0 +1,132 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation section (§8). Each experiment is a named, self-contained
+// function from a Config (instruction budget + benchmark list) to a
+// report.Table whose rows mirror the paper's presentation; cmd/ev8bench is
+// a thin driver over this package and bench_test.go wraps each experiment
+// in a testing.B benchmark.
+//
+// Absolute misp/KI values are not expected to match the paper (the
+// workloads are calibrated synthetic substitutes for the SPECINT95
+// traces, see DESIGN.md §1); the SHAPE of each table — orderings,
+// crossovers, sign and rough magnitude of deltas — is the reproduction
+// target, and EXPERIMENTS.md records paper-vs-measured for each.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"ev8pred/internal/report"
+	"ev8pred/internal/sim"
+	"ev8pred/internal/workload"
+)
+
+// Config scopes an experiment run.
+type Config struct {
+	// Instructions is the per-benchmark synthetic instruction budget.
+	// The paper uses 100M; the default harness uses 10M, which preserves
+	// every qualitative result at ~10x the speed.
+	Instructions int64
+	// Benchmarks is the profile list (defaults to the full Table 2 set).
+	Benchmarks []workload.Profile
+}
+
+// Default returns the standard harness configuration.
+func Default() Config {
+	return Config{Instructions: 10_000_000, Benchmarks: workload.Benchmarks()}
+}
+
+// Quick returns a scaled-down configuration for smoke tests and
+// testing.B benchmarks.
+func Quick() Config {
+	return Config{Instructions: 1_000_000, Benchmarks: workload.Benchmarks()}
+}
+
+// Experiment is one reproducible table or figure.
+type Experiment struct {
+	// ID is the harness handle ("table1", "fig5", ...).
+	ID string
+	// Title describes the experiment as the paper captions it.
+	Title string
+	// Shape states the qualitative result the run is expected to show.
+	Shape string
+	// Run executes the experiment.
+	Run func(Config) (*report.Table, error)
+}
+
+var registry []Experiment
+
+func register(e Experiment) { registry = append(registry, e) }
+
+// All returns every experiment in paper order.
+func All() []Experiment {
+	out := make([]Experiment, len(registry))
+	copy(out, registry)
+	sort.SliceStable(out, func(i, j int) bool { return order(out[i].ID) < order(out[j].ID) })
+	return out
+}
+
+// order fixes the paper's presentation order.
+func order(id string) int {
+	for i, v := range []string{
+		"table1", "table2", "fig5", "fig6", "table3",
+		"fig7", "fig8", "fig9", "fig10", "ablations", "perf", "smt", "backup",
+	} {
+		if v == id {
+			return i
+		}
+	}
+	return 100
+}
+
+// ByID returns the named experiment.
+func ByID(id string) (Experiment, error) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("experiments: unknown experiment %q (have %v)", id, IDs())
+}
+
+// IDs lists the registered experiment ids in paper order.
+func IDs() []string {
+	all := All()
+	out := make([]string, len(all))
+	for i, e := range all {
+		out[i] = e.ID
+	}
+	return out
+}
+
+// suite runs a predictor factory over every benchmark and returns the
+// per-benchmark results in benchmark order.
+func suite(cfg Config, opts sim.Options, factory sim.Factory) ([]sim.Result, error) {
+	return sim.RunSuite(factory, cfg.Benchmarks, cfg.Instructions, opts)
+}
+
+// addSeriesColumns builds the common per-benchmark × per-series misp/KI
+// table layout used by the figure experiments.
+func addSeriesColumns(t *report.Table, benchNames []string, series map[string][]sim.Result, colOrder []string) {
+	for bi, name := range benchNames {
+		cells := []interface{}{name}
+		for _, col := range colOrder {
+			cells = append(cells, series[col][bi].MispKI())
+		}
+		t.AddRowf(cells...)
+	}
+	mean := []interface{}{"MEAN"}
+	for _, col := range colOrder {
+		mean = append(mean, sim.Mean(series[col]))
+	}
+	t.AddRowf(mean...)
+}
+
+// benchNames extracts the profile names.
+func benchNames(cfg Config) []string {
+	out := make([]string, len(cfg.Benchmarks))
+	for i, p := range cfg.Benchmarks {
+		out[i] = p.Name
+	}
+	return out
+}

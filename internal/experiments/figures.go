@@ -1,0 +1,295 @@
+package experiments
+
+import (
+	"ev8pred/internal/core"
+	"ev8pred/internal/ev8"
+	"ev8pred/internal/frontend"
+	"ev8pred/internal/predictor"
+	"ev8pred/internal/predictor/bimode"
+	"ev8pred/internal/predictor/gshare"
+	"ev8pred/internal/predictor/yags"
+	"ev8pred/internal/report"
+	"ev8pred/internal/sim"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "fig5",
+		Title: "Figure 5: Branch prediction accuracy for various global history schemes",
+		Shape: "2Bc-gskew <= bimode and gshare at equal-or-smaller budget; YAGS ~ 2Bc-gskew; go worst everywhere",
+		Run:   runFig5,
+	})
+	register(Experiment{
+		ID:    "fig6",
+		Title: "Figure 6: Additional mispredictions with history length = log2(table size)",
+		Shape: "deltas mostly >= 0; largest on footprint/correlation-heavy benchmarks",
+		Run:   runFig6,
+	})
+	register(Experiment{
+		ID:    "fig7",
+		Title: "Figure 7: Impact of the information vector (4x64K 2Bc-gskew)",
+		Shape: "lghist ~ ghist; 3-old lghist slightly worse; path info recovers most of the loss",
+		Run:   runFig7,
+	})
+	register(Experiment{
+		ID:    "fig8",
+		Title: "Figure 8: Adjusting table sizes (small BIM, half-size hysteresis)",
+		Shape: "small BIM ~ no impact; EV8-size (half G0/Meta hysteresis) barely noticeable except go",
+		Run:   runFig8,
+	})
+	register(Experiment{
+		ID:    "fig9",
+		Title: "Figure 9: Effect of wordline indices and index-function constraints",
+		Shape: "history-bit wordline beats address-only; EV8 info+indices ~ complete hash ~ unconstrained ghist",
+		Run:   runFig9,
+	})
+	register(Experiment{
+		ID:    "fig10",
+		Title: "Figure 10: Limits of using global history (4x1M 2Bc-gskew)",
+		Shape: "8Mbit predictor gains little over the 352Kbit EV8 except on footprint-heavy benchmarks",
+		Run:   runFig10,
+	})
+}
+
+// Figure 5 predictor roster (§8.2): memorization sizes in the same range
+// as the EV8 predictor, best history lengths, conventional branch history.
+func fig5Factories() (cols []string, fs map[string]sim.Factory) {
+	fs = map[string]sim.Factory{
+		"2Bc-gskew 256Kb": func() (predictor.Predictor, error) { return core.New(core.Config256K()) },
+		"2Bc-gskew 512Kb": func() (predictor.Predictor, error) { return core.New(core.Config512K()) },
+		"bimode 544Kb": func() (predictor.Predictor, error) {
+			// Two 128K-entry direction tables + a 16K choice table
+			// (footnote 1), best history length 20.
+			return bimode.New(128*1024, 16*1024, 20)
+		},
+		"gshare 2Mb": func() (predictor.Predictor, error) {
+			// 1M entries, best history length 20.
+			return gshare.New(1024*1024, 20)
+		},
+		"YAGS 288Kb": func() (predictor.Predictor, error) {
+			// 16K bimodal + two 16K 6-bit-tagged caches, history 23.
+			return yags.New(16*1024, 16*1024, 23)
+		},
+		"YAGS 576Kb": func() (predictor.Predictor, error) {
+			return yags.New(32*1024, 32*1024, 25)
+		},
+	}
+	cols = []string{"2Bc-gskew 256Kb", "2Bc-gskew 512Kb", "bimode 544Kb",
+		"gshare 2Mb", "YAGS 288Kb", "YAGS 576Kb"}
+	return
+}
+
+func runFig5(cfg Config) (*report.Table, error) {
+	cols, fs := fig5Factories()
+	series := map[string][]sim.Result{}
+	for _, col := range cols {
+		rs, err := suite(cfg, sim.Options{Mode: frontend.ModeGhist()}, fs[col])
+		if err != nil {
+			return nil, err
+		}
+		series[col] = rs
+	}
+	t := report.New("Figure 5: misp/KI, global history schemes (conventional ghist, best history lengths)",
+		append([]string{"benchmark"}, cols...)...)
+	addSeriesColumns(t, benchNames(cfg), series, cols)
+	return t, nil
+}
+
+// Figure 6: the same configurations restricted to history length
+// log2(table size); the table reports ADDITIONAL mispredictions per KI
+// relative to Figure 5.
+func runFig6(cfg Config) (*report.Table, error) {
+	type pair struct {
+		best, short sim.Factory
+	}
+	pairs := map[string]pair{
+		"2Bc-gskew 256Kb": {
+			best:  func() (predictor.Predictor, error) { return core.New(core.Config256K()) },
+			short: func() (predictor.Predictor, error) { return core.New(core.Config256KShortHist()) },
+		},
+		"2Bc-gskew 512Kb": {
+			best:  func() (predictor.Predictor, error) { return core.New(core.Config512K()) },
+			short: func() (predictor.Predictor, error) { return core.New(core.Config512KShortHist()) },
+		},
+		"bimode 544Kb": {
+			best:  func() (predictor.Predictor, error) { return bimode.New(128*1024, 16*1024, 20) },
+			short: func() (predictor.Predictor, error) { return bimode.New(128*1024, 16*1024, 17) },
+		},
+		"YAGS 288Kb": {
+			best:  func() (predictor.Predictor, error) { return yags.New(16*1024, 16*1024, 23) },
+			short: func() (predictor.Predictor, error) { return yags.New(16*1024, 16*1024, 14) },
+		},
+		"YAGS 576Kb": {
+			best:  func() (predictor.Predictor, error) { return yags.New(32*1024, 32*1024, 25) },
+			short: func() (predictor.Predictor, error) { return yags.New(32*1024, 32*1024, 15) },
+		},
+	}
+	cols := []string{"2Bc-gskew 256Kb", "2Bc-gskew 512Kb", "bimode 544Kb", "YAGS 288Kb", "YAGS 576Kb"}
+	opts := sim.Options{Mode: frontend.ModeGhist()}
+	delta := map[string][]sim.Result{}
+	for _, col := range cols {
+		best, err := suite(cfg, opts, pairs[col].best)
+		if err != nil {
+			return nil, err
+		}
+		short, err := suite(cfg, opts, pairs[col].short)
+		if err != nil {
+			return nil, err
+		}
+		ds := make([]sim.Result, len(best))
+		for i := range best {
+			// Encode the delta as a Result so the shared table
+			// renderer can be reused: misp/KI(delta) = short - best.
+			ds[i] = sim.Result{
+				Workload:     best[i].Workload,
+				Mispredicts:  short[i].Mispredicts - best[i].Mispredicts,
+				Instructions: best[i].Instructions,
+			}
+		}
+		delta[col] = ds
+	}
+	t := report.New("Figure 6: ADDITIONAL misp/KI when history length = log2(table size)",
+		append([]string{"benchmark"}, cols...)...)
+	addSeriesColumns(t, benchNames(cfg), delta, cols)
+	t.AddNote("gshare 2Mb omitted: its best history length (20) already equals log2(table size), as in the paper")
+	return t, nil
+}
+
+// Figure 7: the 4x64K 2Bc-gskew under the five information vectors.
+func runFig7(cfg Config) (*report.Table, error) {
+	type variant struct {
+		mode    frontend.Mode
+		factory sim.Factory
+	}
+	ghistCore := func() (predictor.Predictor, error) { return core.New(core.Config512K()) }
+	lghistCore := func() (predictor.Predictor, error) { return core.New(core.Config512KLghist()) }
+	pathCore := func() (predictor.Predictor, error) {
+		c := core.Config512KLghist()
+		c.UsePath = true
+		c.Name = "2Bc-gskew-512Kbit-EV8vector"
+		return core.New(c)
+	}
+	variants := map[string]variant{
+		"ghist":           {frontend.ModeGhist(), ghistCore},
+		"lghist, no path": {frontend.ModeLghistNoPath(), lghistCore},
+		"lghist+path":     {frontend.ModeLghist(), lghistCore},
+		"3-old lghist":    {frontend.ModeOldLghist(), lghistCore},
+		"EV8 info vector": {frontend.ModeEV8(), pathCore},
+	}
+	cols := []string{"ghist", "lghist, no path", "lghist+path", "3-old lghist", "EV8 info vector"}
+	series := map[string][]sim.Result{}
+	for _, col := range cols {
+		v := variants[col]
+		rs, err := suite(cfg, sim.Options{Mode: v.mode}, v.factory)
+		if err != nil {
+			return nil, err
+		}
+		series[col] = rs
+	}
+	t := report.New("Figure 7: misp/KI by information vector (4x64K 2Bc-gskew)",
+		append([]string{"benchmark"}, cols...)...)
+	addSeriesColumns(t, benchNames(cfg), series, cols)
+	return t, nil
+}
+
+// Figure 8: table-size reduction under the EV8 information vector.
+func runFig8(cfg Config) (*report.Table, error) {
+	mk := func(c core.Config) sim.Factory {
+		c.UsePath = true
+		return func() (predictor.Predictor, error) { return core.New(c) }
+	}
+	cols := []string{"4x64K (512Kb)", "small BIM", "EV8 size (352Kb)"}
+	factories := map[string]sim.Factory{
+		"4x64K (512Kb)":    mk(core.Config512KLghist()),
+		"small BIM":        mk(core.ConfigSmallBIM()),
+		"EV8 size (352Kb)": mk(core.ConfigEV8Size()),
+	}
+	series := map[string][]sim.Result{}
+	for _, col := range cols {
+		rs, err := suite(cfg, sim.Options{Mode: frontend.ModeEV8()}, factories[col])
+		if err != nil {
+			return nil, err
+		}
+		series[col] = rs
+	}
+	t := report.New("Figure 8: misp/KI while shrinking tables (EV8 information vector)",
+		append([]string{"benchmark"}, cols...)...)
+	addSeriesColumns(t, benchNames(cfg), series, cols)
+	return t, nil
+}
+
+// Figure 9: index-function constraints.
+func runFig9(cfg Config) (*report.Table, error) {
+	oldNoPath := frontend.Mode{Compressed: true, PathBit: false, DelayBlocks: 3}
+	type variant struct {
+		mode    frontend.Mode
+		factory sim.Factory
+	}
+	ev8f := func(opt ev8.IndexOptions) sim.Factory {
+		return func() (predictor.Predictor, error) {
+			c := ev8.DefaultConfig()
+			c.Index = opt
+			return ev8.New(c)
+		}
+	}
+	hashEV8Size := func() (predictor.Predictor, error) {
+		c := core.ConfigEV8Size()
+		c.UsePath = true
+		c.Name = "EV8size-completehash"
+		return core.New(c)
+	}
+	ghist512 := func() (predictor.Predictor, error) { return core.New(core.Config512K()) }
+	variants := map[string]variant{
+		"address only, no path": {oldNoPath, ev8f(ev8.IndexOptions{AddressOnlyWordline: true})},
+		"address only, path":    {frontend.ModeEV8(), ev8f(ev8.IndexOptions{AddressOnlyWordline: true})},
+		"no path":               {oldNoPath, ev8f(ev8.IndexOptions{})},
+		"EV8":                   {frontend.ModeEV8(), ev8f(ev8.IndexOptions{})},
+		"complete hash":         {frontend.ModeEV8(), hashEV8Size},
+		"2Bc-gskew ghist 512Kb": {frontend.ModeGhist(), ghist512},
+	}
+	cols := []string{"address only, no path", "address only, path", "no path",
+		"EV8", "complete hash", "2Bc-gskew ghist 512Kb"}
+	series := map[string][]sim.Result{}
+	for _, col := range cols {
+		v := variants[col]
+		rs, err := suite(cfg, sim.Options{Mode: v.mode}, v.factory)
+		if err != nil {
+			return nil, err
+		}
+		series[col] = rs
+	}
+	t := report.New("Figure 9: misp/KI under index-function constraints (352Kb EV8 predictor)",
+		append([]string{"benchmark"}, cols...)...)
+	addSeriesColumns(t, benchNames(cfg), series, cols)
+	return t, nil
+}
+
+// Figure 10: the brute-force limit study.
+func runFig10(cfg Config) (*report.Table, error) {
+	type variant struct {
+		mode    frontend.Mode
+		factory sim.Factory
+	}
+	variants := map[string]variant{
+		"EV8 352Kb": {frontend.ModeEV8(), func() (predictor.Predictor, error) {
+			return ev8.New(ev8.DefaultConfig())
+		}},
+		"2Bc-gskew 4x1M (8Mb)": {frontend.ModeGhist(), func() (predictor.Predictor, error) {
+			return core.New(core.Config4M())
+		}},
+	}
+	cols := []string{"EV8 352Kb", "2Bc-gskew 4x1M (8Mb)"}
+	series := map[string][]sim.Result{}
+	for _, col := range cols {
+		v := variants[col]
+		rs, err := suite(cfg, sim.Options{Mode: v.mode}, v.factory)
+		if err != nil {
+			return nil, err
+		}
+		series[col] = rs
+	}
+	t := report.New("Figure 10: limits of global history (EV8 vs 4x1M-entry 2Bc-gskew)",
+		append([]string{"benchmark"}, cols...)...)
+	addSeriesColumns(t, benchNames(cfg), series, cols)
+	return t, nil
+}

@@ -1,0 +1,125 @@
+// Package perf estimates fetch-level performance from front-end event
+// counts — the motivation the paper opens with: with a minimum branch
+// misprediction penalty of 14 cycles (and typical resolution around cycle
+// 20–25), "the performance of this microprocessor is very dependent on
+// the branch prediction accuracy" (§1). The model is deliberately simple
+// and documented: it charges the fetch pipeline for every PC-generation
+// redirect and for line-predictor slips, and caps throughput at the fetch
+// and issue widths.
+package perf
+
+import (
+	"fmt"
+
+	"ev8pred/internal/frontend"
+)
+
+// Model holds the microarchitectural cost parameters.
+type Model struct {
+	// FetchBlocksPerCycle is the front-end bandwidth (EV8: two blocks).
+	FetchBlocksPerCycle float64
+	// CondPenalty is the pipeline-refill cost of a conditional-branch
+	// direction misprediction, in cycles. The EV8 minimum is 14; the
+	// paper says resolution typically happens around cycle 20–25.
+	CondPenalty float64
+	// JumpPenalty and RetPenalty are the redirect costs of jump-target
+	// and return-target mispredictions (resolved at PC generation or
+	// execute; charged like conditional redirects by default).
+	JumpPenalty float64
+	RetPenalty  float64
+	// LinePenalty is the small bubble when the line predictor disagrees
+	// with the (correct) PC-address generation: fetch restarts from the
+	// PC-generator result two cycles later (§2, Fig. 1).
+	LinePenalty float64
+	// IssueWidth caps sustained IPC (EV8: 8-wide).
+	IssueWidth float64
+}
+
+// EV8 returns the paper's parameters (minimum-latency variant).
+func EV8() Model {
+	return Model{
+		FetchBlocksPerCycle: 2,
+		CondPenalty:         14,
+		JumpPenalty:         14,
+		RetPenalty:          14,
+		LinePenalty:         2,
+		IssueWidth:          8,
+	}
+}
+
+// EV8Typical returns the paper's "more often around cycle 20 or 25"
+// resolution latency.
+func EV8Typical() Model {
+	m := EV8()
+	m.CondPenalty = 20
+	m.JumpPenalty = 20
+	m.RetPenalty = 20
+	return m
+}
+
+// Inputs are the event counts of one simulation run.
+type Inputs struct {
+	// Instructions is the total retired instruction count.
+	Instructions int64
+	// Blocks is the number of fetch blocks formed.
+	Blocks int64
+	// PCGen holds the PC-address-generation redirect counts.
+	PCGen frontend.PCGenStats
+	// LineMisses is the number of fetch blocks whose next-block address
+	// the line predictor got wrong.
+	LineMisses int64
+}
+
+// Report is the model's output.
+type Report struct {
+	// FetchCycles is the bandwidth-limited base cost.
+	FetchCycles float64
+	// RedirectCycles is the misprediction-refill cost.
+	RedirectCycles float64
+	// LineCycles is the line-predictor slip cost.
+	LineCycles float64
+	// Cycles is the estimated total.
+	Cycles float64
+	// IPC is instructions per cycle after the issue-width cap.
+	IPC float64
+}
+
+// String renders a one-line summary.
+func (r Report) String() string {
+	return fmt.Sprintf("%.0f cycles (%.0f fetch + %.0f redirect + %.0f line), %.2f IPC",
+		r.Cycles, r.FetchCycles, r.RedirectCycles, r.LineCycles, r.IPC)
+}
+
+// Estimate applies the model.
+func (m Model) Estimate(in Inputs) Report {
+	var r Report
+	if in.Blocks > 0 && m.FetchBlocksPerCycle > 0 {
+		r.FetchCycles = float64(in.Blocks) / m.FetchBlocksPerCycle
+	}
+	s := in.PCGen
+	r.RedirectCycles = float64(s.CondMispredicts)*m.CondPenalty +
+		float64(s.JumpMispredicts)*m.JumpPenalty +
+		float64(s.RetMispredicts)*m.RetPenalty
+	// A line slip that coincides with a PC-generation redirect is
+	// subsumed by the (much larger) redirect penalty.
+	extraLine := in.LineMisses - s.Mispredicts()
+	if extraLine > 0 {
+		r.LineCycles = float64(extraLine) * m.LinePenalty
+	}
+	r.Cycles = r.FetchCycles + r.RedirectCycles + r.LineCycles
+	if r.Cycles > 0 {
+		r.IPC = float64(in.Instructions) / r.Cycles
+		if m.IssueWidth > 0 && r.IPC > m.IssueWidth {
+			r.IPC = m.IssueWidth
+		}
+	}
+	return r
+}
+
+// Speedup returns the relative IPC gain of a over b.
+func Speedup(a, b Report) float64 {
+	if b.IPC == 0 {
+		return 0
+	}
+	return a.IPC / b.IPC
+}

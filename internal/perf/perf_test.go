@@ -1,0 +1,91 @@
+package perf
+
+import (
+	"strings"
+	"testing"
+
+	"ev8pred/internal/frontend"
+)
+
+func TestEV8Parameters(t *testing.T) {
+	m := EV8()
+	if m.CondPenalty != 14 || m.FetchBlocksPerCycle != 2 || m.IssueWidth != 8 {
+		t.Errorf("EV8 model = %+v", m)
+	}
+	if EV8Typical().CondPenalty != 20 {
+		t.Error("EV8Typical should use the 20-cycle resolution latency")
+	}
+}
+
+func TestEstimateNoMispredicts(t *testing.T) {
+	m := EV8()
+	r := m.Estimate(Inputs{Instructions: 16000, Blocks: 2000})
+	// 2000 blocks at 2/cycle = 1000 cycles; 16000 instructions -> IPC
+	// would be 16 but is capped at the 8-wide issue limit.
+	if r.FetchCycles != 1000 {
+		t.Errorf("FetchCycles = %v", r.FetchCycles)
+	}
+	if r.IPC != 8 {
+		t.Errorf("IPC = %v, want issue-width cap 8", r.IPC)
+	}
+}
+
+func TestEstimateChargesRedirects(t *testing.T) {
+	m := EV8()
+	in := Inputs{
+		Instructions: 8000,
+		Blocks:       2000,
+		PCGen: frontend.PCGenStats{
+			CondMispredicts: 10,
+			JumpMispredicts: 5,
+			RetMispredicts:  2,
+		},
+	}
+	r := m.Estimate(in)
+	want := float64(10+5+2) * 14
+	if r.RedirectCycles != want {
+		t.Errorf("RedirectCycles = %v, want %v", r.RedirectCycles, want)
+	}
+	if r.IPC >= 8 {
+		t.Error("redirects should pull IPC below the cap")
+	}
+}
+
+func TestLineSlipsSubsumedByRedirects(t *testing.T) {
+	m := EV8()
+	in := Inputs{
+		Instructions: 1000,
+		Blocks:       100,
+		PCGen:        frontend.PCGenStats{CondMispredicts: 50},
+		LineMisses:   30, // all coincide with redirects
+	}
+	if r := m.Estimate(in); r.LineCycles != 0 {
+		t.Errorf("LineCycles = %v, want 0 (subsumed)", r.LineCycles)
+	}
+	in.LineMisses = 80 // 30 extra slips
+	if r := m.Estimate(in); r.LineCycles != 30*2 {
+		t.Errorf("LineCycles = %v, want 60", r.LineCycles)
+	}
+}
+
+func TestSpeedupAndString(t *testing.T) {
+	a := Report{IPC: 4}
+	b := Report{IPC: 2}
+	if Speedup(a, b) != 2 {
+		t.Error("Speedup(4,2) != 2")
+	}
+	if Speedup(a, Report{}) != 0 {
+		t.Error("Speedup with zero base should be 0")
+	}
+	if !strings.Contains(a.String(), "IPC") {
+		t.Errorf("String = %q", a.String())
+	}
+}
+
+func TestZeroInputs(t *testing.T) {
+	var m Model
+	r := m.Estimate(Inputs{})
+	if r.Cycles != 0 || r.IPC != 0 {
+		t.Errorf("zero model/inputs produced %+v", r)
+	}
+}

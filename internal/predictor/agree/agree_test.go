@@ -1,0 +1,87 @@
+package agree
+
+import (
+	"testing"
+
+	"ev8pred/internal/history"
+	"ev8pred/internal/predictor"
+	"ev8pred/internal/predictor/predtest"
+)
+
+func TestConformance(t *testing.T) {
+	predtest.Conformance(t, func() predictor.Predictor { return MustNew(4096, 4096, 12) })
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := New(1000, 64, 10); err == nil {
+		t.Error("non-power-of-two bias entries accepted")
+	}
+	if _, err := New(1024, 100, 10); err == nil {
+		t.Error("non-power-of-two agreement entries accepted")
+	}
+	if _, err := New(1024, 64, 70); err == nil {
+		t.Error("oversized history accepted")
+	}
+}
+
+func TestBiasLatchesFirstOutcome(t *testing.T) {
+	p := MustNew(256, 256, 8)
+	in := &history.Info{PC: 0x100, Hist: 0}
+	p.Update(in, true)
+	if !p.biasDir(in.PC) {
+		t.Error("bias did not latch the first (taken) outcome")
+	}
+	// Later contrary outcomes do not re-latch the bias.
+	for i := 0; i < 8; i++ {
+		p.Update(in, false)
+	}
+	if !p.biasDir(in.PC) {
+		t.Error("bias re-latched")
+	}
+	// ...but the agreement table has learned to disagree, so the final
+	// prediction follows the actual behavior.
+	if p.Predict(in) {
+		t.Error("agreement table failed to override a stale bias")
+	}
+}
+
+func TestOppositeBiasesShareAgreementEntry(t *testing.T) {
+	// The agree conversion: a taken-biased and a not-taken-biased branch
+	// aliasing to the same agreement entry REINFORCE each other (both
+	// agree with their own bias) instead of fighting.
+	p := MustNew(1024, 64, 6)
+	a := &history.Info{PC: 0x100, Hist: 0x00}
+	b := &history.Info{PC: 0x204, Hist: 0x00}
+	// Force the alias.
+	if p.agreeIndex(a) != p.agreeIndex(b) {
+		// Search for a colliding pair.
+		found := false
+		for pc := uint64(0x200); pc < 0x2000 && !found; pc += 4 {
+			b = &history.Info{PC: pc, Hist: 0x00}
+			if pc != a.PC && p.agreeIndex(b) == p.agreeIndex(a) {
+				found = true
+			}
+		}
+		if !found {
+			t.Skip("no aliasing pair found")
+		}
+	}
+	for i := 0; i < 6; i++ {
+		p.Update(a, true)  // taken-biased
+		p.Update(b, false) // not-taken-biased
+	}
+	if !p.Predict(a) {
+		t.Error("taken-biased branch mispredicted despite agree conversion")
+	}
+	if p.Predict(b) {
+		t.Error("not-taken-biased branch mispredicted despite agree conversion")
+	}
+}
+
+func TestSizeBits(t *testing.T) {
+	p := MustNew(64*1024, 128*1024, 17)
+	want := 2*64*1024 + 2*128*1024
+	if got := p.SizeBits(); got != want {
+		t.Errorf("SizeBits = %d, want %d", got, want)
+	}
+}

@@ -1,0 +1,83 @@
+package bimodal
+
+import (
+	"testing"
+
+	"ev8pred/internal/history"
+	"ev8pred/internal/predictor"
+	"ev8pred/internal/predictor/predtest"
+)
+
+func TestConformance(t *testing.T) {
+	predtest.Conformance(t, func() predictor.Predictor { return MustNew(4096) })
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := New(0); err == nil {
+		t.Error("zero entries accepted")
+	}
+	if _, err := New(1000); err == nil {
+		t.Error("non-power-of-two entries accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNew should panic")
+		}
+	}()
+	MustNew(3)
+}
+
+func TestSizeBits(t *testing.T) {
+	if got := MustNew(16 * 1024).SizeBits(); got != 32*1024 {
+		t.Errorf("SizeBits = %d, want 32K", got)
+	}
+}
+
+func TestCounterHysteresis(t *testing.T) {
+	p := MustNew(64)
+	in := &history.Info{PC: 0x100}
+	// Train to strong taken.
+	for i := 0; i < 4; i++ {
+		p.Update(in, true)
+	}
+	// One contrary outcome must not flip a strong counter.
+	p.Update(in, false)
+	if !p.Predict(in) {
+		t.Error("single not-taken flipped a strong taken counter")
+	}
+	// Two do.
+	p.Update(in, false)
+	if p.Predict(in) {
+		t.Error("two not-taken outcomes should flip the prediction")
+	}
+}
+
+func TestIgnoresHistory(t *testing.T) {
+	p := MustNew(64)
+	a := &history.Info{PC: 0x100, Hist: 0}
+	b := &history.Info{PC: 0x100, Hist: ^uint64(0)}
+	p.Update(a, true)
+	p.Update(a, true)
+	if p.Predict(a) != p.Predict(b) {
+		t.Error("bimodal prediction depends on history")
+	}
+}
+
+func TestCannotLearnAlternation(t *testing.T) {
+	// The defining weakness: a perfectly alternating branch defeats a
+	// 2-bit counter (it oscillates through the weak states).
+	p := MustNew(64)
+	in := &history.Info{PC: 0x200}
+	misses := 0
+	taken := false
+	for i := 0; i < 200; i++ {
+		if p.Predict(in) != taken {
+			misses++
+		}
+		p.Update(in, taken)
+		taken = !taken
+	}
+	if misses < 80 {
+		t.Errorf("bimodal mispredicted alternation only %d/200 times — too good to be true", misses)
+	}
+}

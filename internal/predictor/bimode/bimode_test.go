@@ -1,0 +1,82 @@
+package bimode
+
+import (
+	"testing"
+
+	"ev8pred/internal/history"
+	"ev8pred/internal/predictor"
+	"ev8pred/internal/predictor/predtest"
+)
+
+func TestConformance(t *testing.T) {
+	predtest.Conformance(t, func() predictor.Predictor { return MustNew(4096, 1024, 10) })
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := New(1000, 64, 10); err == nil {
+		t.Error("non-power-of-two direction entries accepted")
+	}
+	if _, err := New(1024, 100, 10); err == nil {
+		t.Error("non-power-of-two choice entries accepted")
+	}
+	if _, err := New(1024, 64, 99); err == nil {
+		t.Error("oversized history accepted")
+	}
+}
+
+func TestSizeBits(t *testing.T) {
+	// The paper's 544 Kbit configuration: two 128K direction tables plus
+	// a 16K choice table.
+	if got := MustNew(128*1024, 16*1024, 20).SizeBits(); got != 544*1024 {
+		t.Errorf("SizeBits = %d, want 544 Kbit", got)
+	}
+}
+
+func TestDirectionSeparationDefeatsAliasing(t *testing.T) {
+	// The bi-mode idea: a taken-biased and a not-taken-biased branch that
+	// collide in the direction tables do NOT destroy each other, because
+	// the choice table routes them to different direction tables.
+	p := MustNew(64, 64, 6)
+	// Same direction-table index: identical (pc^hist) fold. Distinct
+	// choice entries: different PC low bits.
+	a := &history.Info{PC: 0x100, Hist: 0}     // will be taken-biased
+	b := &history.Info{PC: 0x104, Hist: 0x001} // not-taken-biased; (pc^hist) collides with a
+	ai := p.dirIndex(a)
+	bi := p.dirIndex(b)
+	if ai != bi {
+		t.Skipf("test vectors no longer collide (indices %d vs %d)", ai, bi)
+	}
+	for i := 0; i < 8; i++ {
+		p.Update(a, true)
+		p.Update(b, false)
+	}
+	if !p.Predict(a) {
+		t.Error("taken-biased branch lost to direction-table aliasing")
+	}
+	if p.Predict(b) {
+		t.Error("not-taken-biased branch lost to direction-table aliasing")
+	}
+}
+
+func TestChoicePartialUpdate(t *testing.T) {
+	// The choice table is not updated when it disagrees with the outcome
+	// but the selected direction table was still correct.
+	p := MustNew(256, 256, 8)
+	in := &history.Info{PC: 0x200, Hist: 0x55}
+	ci := p.choiceIndex(in)
+	di := p.dirIndex(in)
+	// Choice says taken; taken-table entry says not-taken; outcome NT.
+	p.choice.Set(ci, 3)
+	p.taken.Set(di, 0)
+	before := p.choice.Get(ci)
+	p.Update(in, false)
+	if got := p.choice.Get(ci); got != before {
+		t.Errorf("choice updated (%d -> %d) despite correct direction table", before, got)
+	}
+	// But when the direction table is also wrong, the choice trains.
+	p.taken.Set(di, 3) // now predicts taken; outcome NT -> both wrong
+	p.Update(in, false)
+	if got := p.choice.Get(ci); got != before-1 {
+		t.Errorf("choice not updated on full misprediction: %d -> %d", before, got)
+	}
+}

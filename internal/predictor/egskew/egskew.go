@@ -1,0 +1,152 @@
+// Package egskew implements the enhanced skewed branch predictor e-gskew of
+// Michaud, Seznec and Uhlig [15]: three 2-bit counter banks — a bimodal
+// bank indexed by address only plus two banks indexed by different skewing
+// functions of (address, history) — combined by majority vote, trained with
+// the partial update policy.
+//
+// e-gskew is both a baseline in the paper's §8.2 comparison and the
+// majority-vote core inside 2Bc-gskew (package core).
+package egskew
+
+import (
+	"fmt"
+
+	"ev8pred/internal/bitutil"
+	"ev8pred/internal/counter"
+	"ev8pred/internal/history"
+	"ev8pred/internal/predictor"
+	"ev8pred/internal/skew"
+)
+
+// EGskew is a three-bank majority-vote predictor.
+type EGskew struct {
+	bim     *counter.Array
+	g0      *counter.Array
+	g1      *counter.Array
+	bits    int
+	histLen int
+	fns     []*skew.Func
+	partial bool
+	name    string
+}
+
+// New returns an e-gskew predictor with three banks of entries counters
+// each, using histLen bits of global history for the two skewed banks.
+// partial selects the partial update policy (the configuration the paper
+// recommends); total update is kept for ablation.
+func New(entries, histLen int, partial bool) (*EGskew, error) {
+	if entries <= 0 || !bitutil.IsPow2(uint64(entries)) {
+		return nil, fmt.Errorf("egskew: entries %d not a positive power of two", entries)
+	}
+	if histLen < 0 || histLen > history.MaxLen {
+		return nil, fmt.Errorf("egskew: history length %d out of range", histLen)
+	}
+	bits := bitutil.Log2(uint64(entries))
+	fns, err := skew.NewFamily(bits, 2)
+	if err != nil {
+		return nil, fmt.Errorf("egskew: %w", err)
+	}
+	return &EGskew{
+		bim:     counter.NewArray(entries, counter.WeakNotTaken),
+		g0:      counter.NewArray(entries, counter.WeakNotTaken),
+		g1:      counter.NewArray(entries, counter.WeakNotTaken),
+		bits:    bits,
+		histLen: histLen,
+		fns:     fns,
+		partial: partial,
+		name:    fmt.Sprintf("e-gskew-3x%dK-h%d", entries/1024, histLen),
+	}, nil
+}
+
+// MustNew is New but panics on error.
+func MustNew(entries, histLen int, partial bool) *EGskew {
+	e, err := New(entries, histLen, partial)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// indices computes the three bank indices for an information vector.
+func (e *EGskew) indices(info *history.Info) (ibim, i0, i1 uint64) {
+	ibim = predictor.PCBits(info.PC, e.bits)
+	v := e.vector(info)
+	vlen := e.bits + e.histLen
+	i0 = e.fns[0].Index(v, vlen)
+	i1 = e.fns[1].Index(v, vlen)
+	return
+}
+
+// vector concatenates PC bits (low) and history (high) into the skewing
+// input.
+func (e *EGskew) vector(info *history.Info) uint64 {
+	h := predictor.HistMask(info.Hist, e.histLen)
+	return predictor.PCBits(info.PC, e.bits) | h<<uint(e.bits)
+}
+
+// Predict implements predictor.Predictor: the majority of the three banks.
+func (e *EGskew) Predict(info *history.Info) bool {
+	ibim, i0, i1 := e.indices(info)
+	votes := 0
+	if e.bim.Taken(ibim) {
+		votes++
+	}
+	if e.g0.Taken(i0) {
+		votes++
+	}
+	if e.g1.Taken(i1) {
+		votes++
+	}
+	return votes >= 2
+}
+
+// Update implements predictor.Predictor with the e-gskew partial update
+// policy: on a correct prediction only the banks that voted with the
+// outcome are strengthened; on a misprediction all banks are updated.
+func (e *EGskew) Update(info *history.Info, taken bool) {
+	ibim, i0, i1 := e.indices(info)
+	pbim, p0, p1 := e.bim.Taken(ibim), e.g0.Taken(i0), e.g1.Taken(i1)
+	votes := 0
+	for _, p := range []bool{pbim, p0, p1} {
+		if p {
+			votes++
+		}
+	}
+	predicted := votes >= 2
+
+	if !e.partial || predicted != taken {
+		// Total update, or misprediction: step every bank.
+		e.bim.Update(ibim, taken)
+		e.g0.Update(i0, taken)
+		e.g1.Update(i1, taken)
+		return
+	}
+	// Correct prediction under partial update: strengthen participants
+	// that agreed with the outcome.
+	if pbim == taken {
+		e.bim.Update(ibim, taken)
+	}
+	if p0 == taken {
+		e.g0.Update(i0, taken)
+	}
+	if p1 == taken {
+		e.g1.Update(i1, taken)
+	}
+}
+
+// Name implements predictor.Predictor.
+func (e *EGskew) Name() string { return e.name }
+
+// SizeBits implements predictor.Predictor.
+func (e *EGskew) SizeBits() int {
+	return 2 * (e.bim.Len() + e.g0.Len() + e.g1.Len())
+}
+
+// Reset implements predictor.Predictor.
+func (e *EGskew) Reset() {
+	e.bim.Fill(counter.WeakNotTaken)
+	e.g0.Fill(counter.WeakNotTaken)
+	e.g1.Fill(counter.WeakNotTaken)
+}
+
+var _ predictor.Predictor = (*EGskew)(nil)

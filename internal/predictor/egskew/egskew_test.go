@@ -1,0 +1,107 @@
+package egskew
+
+import (
+	"testing"
+
+	"ev8pred/internal/history"
+	"ev8pred/internal/predictor"
+	"ev8pred/internal/predictor/predtest"
+	"ev8pred/internal/rng"
+)
+
+func TestConformance(t *testing.T) {
+	predtest.Conformance(t, func() predictor.Predictor { return MustNew(4096, 12, true) })
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := New(1000, 10, true); err == nil {
+		t.Error("non-power-of-two entries accepted")
+	}
+	if _, err := New(1024, 70, true); err == nil {
+		t.Error("oversized history accepted")
+	}
+	if _, err := New(1, 0, true); err == nil {
+		t.Error("1-entry table accepted (skew needs >= 2 index bits)")
+	}
+}
+
+func TestSizeBits(t *testing.T) {
+	// Three banks of 64K 2-bit counters = 384 Kbit.
+	if got := MustNew(64*1024, 21, true).SizeBits(); got != 384*1024 {
+		t.Errorf("SizeBits = %d", got)
+	}
+}
+
+func TestMajorityToleratesSingleBankCorruption(t *testing.T) {
+	// Train a branch, then hammer ONE skewed bank's entry via an
+	// adversarial alias; the majority must still predict correctly.
+	p := MustNew(1024, 10, true)
+	victim := &history.Info{PC: 0x1234, Hist: 0x2a5}
+	for i := 0; i < 8; i++ {
+		p.Update(victim, true)
+	}
+	if !p.Predict(victim) {
+		t.Fatal("training failed")
+	}
+	// Find an (address, history) pair aliasing with the victim in bank
+	// G0 but not in G1 (guaranteed findable thanks to skewing).
+	r := rng.New(11, 0)
+	var alias *history.Info
+	_, v0, v1 := p.indices(victim)
+	for i := 0; i < 200000; i++ {
+		cand := &history.Info{PC: uint64(r.Intn(1<<18)) * 4, Hist: uint64(r.Intn(1 << 10))}
+		_, c0, c1 := p.indices(cand)
+		if v0 == c0 && v1 != c1 && predictor.PCBits(cand.PC, 10) != predictor.PCBits(victim.PC, 10) {
+			alias = cand
+			break
+		}
+	}
+	if alias == nil {
+		t.Skip("no single-bank alias found in sample")
+	}
+	for i := 0; i < 8; i++ {
+		p.Update(alias, false)
+	}
+	if !p.Predict(victim) {
+		t.Error("single-bank aliasing destroyed the majority prediction")
+	}
+}
+
+func TestPartialUpdatePreservesDissent(t *testing.T) {
+	// Under partial update, a bank that voted against a correct majority
+	// is NOT trained toward the outcome, preserving its (possibly
+	// useful) dissenting state; under total update it is dragged along.
+	mk := func(partial bool) (*EGskew, *history.Info) {
+		p := MustNew(1024, 10, partial)
+		in := &history.Info{PC: 0x888, Hist: 0x155}
+		return p, in
+	}
+	for _, partial := range []bool{true, false} {
+		p, in := mk(partial)
+		// Force BIM and G0 strongly taken, G1 strongly not-taken.
+		ib, i0, i1 := p.indices(in)
+		p.bim.Set(ib, 3)
+		p.g0.Set(i0, 3)
+		p.g1.Set(i1, 0)
+		p.Update(in, true) // correct majority (taken)
+		g1 := p.g1.Get(i1)
+		if partial && g1 != 0 {
+			t.Errorf("partial update dragged the dissenting bank to %d", g1)
+		}
+		if !partial && g1 == 0 {
+			t.Error("total update left the dissenting bank untouched")
+		}
+	}
+}
+
+func TestMispredictionUpdatesAllBanks(t *testing.T) {
+	p := MustNew(1024, 10, true)
+	in := &history.Info{PC: 0x444, Hist: 0x0aa}
+	ib, i0, i1 := p.indices(in)
+	// All banks weakly not-taken (initial); outcome taken = mispredict.
+	p.Update(in, true)
+	if p.bim.Get(ib) != 2 || p.g0.Get(i0) != 2 || p.g1.Get(i1) != 2 {
+		t.Errorf("banks after mispredict: %d %d %d, want all weak taken",
+			p.bim.Get(ib), p.g0.Get(i0), p.g1.Get(i1))
+	}
+}

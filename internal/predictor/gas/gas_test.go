@@ -1,0 +1,77 @@
+package gas
+
+import (
+	"testing"
+
+	"ev8pred/internal/history"
+	"ev8pred/internal/predictor"
+	"ev8pred/internal/predictor/predtest"
+)
+
+func TestConformance(t *testing.T) {
+	predtest.Conformance(t, func() predictor.Predictor { return MustNew(8, 6) })
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := New(-1, 6); err == nil {
+		t.Error("negative history accepted")
+	}
+	if _, err := New(0, 0); err == nil {
+		t.Error("zero-width index accepted")
+	}
+	if _, err := New(20, 20); err == nil {
+		t.Error("oversized index accepted")
+	}
+}
+
+func TestSizeBits(t *testing.T) {
+	// 2^(12+6) = 256K entries = 512 Kbit.
+	if got := MustNew(12, 6).SizeBits(); got != 512*1024 {
+		t.Errorf("SizeBits = %d", got)
+	}
+}
+
+func TestConcatenationSeparatesAddressAndHistory(t *testing.T) {
+	// Unlike gshare, GAs gives each (PC-set, history) pair a private
+	// entry: two branches in different sets with the same history never
+	// collide, and the same branch with different histories never
+	// collides.
+	p := MustNew(6, 6)
+	h := uint64(0x15)
+	a := &history.Info{PC: 0x100, Hist: h}
+	b := &history.Info{PC: 0x104, Hist: h}       // adjacent instruction: different address set
+	c := &history.Info{PC: 0x100, Hist: h ^ 0x3} // different history
+	for i := 0; i < 4; i++ {
+		p.Update(a, true)
+		p.Update(b, false)
+		p.Update(c, false)
+	}
+	if !p.Predict(a) {
+		t.Error("a lost its entry")
+	}
+	if p.Predict(b) {
+		t.Error("b lost its entry")
+	}
+	if p.Predict(c) {
+		t.Error("c lost its entry")
+	}
+}
+
+func TestLearnsAlternation(t *testing.T) {
+	p := MustNew(8, 4)
+	var ghist history.Register
+	taken := false
+	misses := 0
+	for i := 0; i < 300; i++ {
+		in := &history.Info{PC: 0x40, Hist: ghist.Value()}
+		if i >= 50 && p.Predict(in) != taken {
+			misses++
+		}
+		p.Update(in, taken)
+		ghist.Shift(taken)
+		taken = !taken
+	}
+	if misses > 3 {
+		t.Errorf("GAs missed alternation %d times", misses)
+	}
+}

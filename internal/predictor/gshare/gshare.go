@@ -1,0 +1,76 @@
+// Package gshare implements McFarling's gshare predictor [14]: a single
+// 2-bit counter table indexed by the XOR of global history and PC bits.
+// Histories longer than the index width are XOR-folded, which is how the
+// paper's 1M-entry gshare runs its best-performing 20-bit history.
+package gshare
+
+import (
+	"fmt"
+
+	"ev8pred/internal/bitutil"
+	"ev8pred/internal/counter"
+	"ev8pred/internal/history"
+	"ev8pred/internal/predictor"
+)
+
+// Gshare is a global-history XOR-indexed counter table.
+type Gshare struct {
+	table   *counter.Array
+	bits    int
+	histLen int
+	name    string
+}
+
+// New returns a gshare predictor with entries counters (a power of two)
+// using histLen bits of global history.
+func New(entries, histLen int) (*Gshare, error) {
+	if entries <= 0 || !bitutil.IsPow2(uint64(entries)) {
+		return nil, fmt.Errorf("gshare: entries %d not a positive power of two", entries)
+	}
+	if histLen < 0 || histLen > history.MaxLen {
+		return nil, fmt.Errorf("gshare: history length %d out of range", histLen)
+	}
+	return &Gshare{
+		table:   counter.NewArray(entries, counter.WeakNotTaken),
+		bits:    bitutil.Log2(uint64(entries)),
+		histLen: histLen,
+		name:    fmt.Sprintf("gshare-%dKx2bit-h%d", entries/1024, histLen),
+	}, nil
+}
+
+// MustNew is New but panics on error.
+func MustNew(entries, histLen int) *Gshare {
+	g, err := New(entries, histLen)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func (g *Gshare) index(info *history.Info) uint64 {
+	return predictor.GshareIndex(info.PC, info.Hist, g.histLen, g.bits)
+}
+
+// Predict implements predictor.Predictor.
+func (g *Gshare) Predict(info *history.Info) bool {
+	return g.table.Taken(g.index(info))
+}
+
+// Update implements predictor.Predictor.
+func (g *Gshare) Update(info *history.Info, taken bool) {
+	g.table.Update(g.index(info), taken)
+}
+
+// Name implements predictor.Predictor.
+func (g *Gshare) Name() string { return g.name }
+
+// SizeBits implements predictor.Predictor.
+func (g *Gshare) SizeBits() int { return 2 * g.table.Len() }
+
+// HistLen returns the configured history length.
+func (g *Gshare) HistLen() int { return g.histLen }
+
+// Reset implements predictor.Predictor.
+func (g *Gshare) Reset() { g.table.Fill(counter.WeakNotTaken) }
+
+var _ predictor.Predictor = (*Gshare)(nil)

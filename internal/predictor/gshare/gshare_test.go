@@ -1,0 +1,115 @@
+package gshare
+
+import (
+	"testing"
+
+	"ev8pred/internal/history"
+	"ev8pred/internal/predictor"
+	"ev8pred/internal/predictor/predtest"
+)
+
+func TestConformance(t *testing.T) {
+	predtest.Conformance(t, func() predictor.Predictor { return MustNew(4096, 12) })
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := New(1000, 10); err == nil {
+		t.Error("non-power-of-two entries accepted")
+	}
+	if _, err := New(1024, -1); err == nil {
+		t.Error("negative history accepted")
+	}
+	if _, err := New(1024, 65); err == nil {
+		t.Error("oversized history accepted")
+	}
+	if MustNew(1024, 10).HistLen() != 10 {
+		t.Error("HistLen mismatch")
+	}
+}
+
+func TestSizeBits(t *testing.T) {
+	if got := MustNew(1024*1024, 20).SizeBits(); got != 2*1024*1024 {
+		t.Errorf("1M-entry gshare = %d bits, want 2Mbit", got)
+	}
+}
+
+func TestLearnsAlternationViaHistory(t *testing.T) {
+	// gshare's defining strength over bimodal: the alternating branch is
+	// perfectly predictable once history distinguishes the two phases.
+	p := MustNew(4096, 8)
+	var ghist history.Register
+	taken := false
+	misses := 0
+	for i := 0; i < 400; i++ {
+		in := &history.Info{PC: 0x300, Hist: ghist.Value()}
+		if i >= 100 && p.Predict(in) != taken {
+			misses++
+		}
+		p.Update(in, taken)
+		ghist.Shift(taken)
+		taken = !taken
+	}
+	if misses > 3 {
+		t.Errorf("gshare missed alternation %d/300 times after warmup", misses)
+	}
+}
+
+func TestHistoryWindowLimit(t *testing.T) {
+	// A branch correlated at distance d is unpredictable when the
+	// history window is shorter than d, and predictable when longer —
+	// the §5.3 long-history argument in miniature.
+	run := func(histLen int) float64 {
+		p := MustNew(1<<14, histLen)
+		var ghist history.Register
+		misses, total := 0, 0
+		// Deterministic source bit pattern with period 7 at distance 9.
+		pattern := []bool{true, true, false, true, false, false, true}
+		var window []bool
+		for i := 0; i < 4000; i++ {
+			src := pattern[i%len(pattern)]
+			// Source branch.
+			sin := &history.Info{PC: 0x400, Hist: ghist.Value()}
+			p.Update(sin, src)
+			ghist.Shift(src)
+			window = append(window, src)
+			// 8 filler biased branches.
+			for f := 0; f < 8; f++ {
+				fin := &history.Info{PC: 0x500 + uint64(f)*4, Hist: ghist.Value()}
+				p.Update(fin, false)
+				ghist.Shift(false)
+			}
+			// Correlated branch copies the source (distance 9).
+			cin := &history.Info{PC: 0x900, Hist: ghist.Value()}
+			if i > 1000 {
+				total++
+				if p.Predict(cin) != src {
+					misses++
+				}
+			}
+			p.Update(cin, src)
+			ghist.Shift(src)
+		}
+		return float64(misses) / float64(total)
+	}
+	short := run(4) // window 4 < distance 9
+	long := run(16) // window 16 > distance 9
+	if long > 0.05 {
+		t.Errorf("long-history miss rate %.3f, want near 0", long)
+	}
+	if short < long+0.1 {
+		t.Errorf("short-history (%.3f) should be much worse than long (%.3f)", short, long)
+	}
+}
+
+func TestDistinctHistoriesDistinctEntries(t *testing.T) {
+	p := MustNew(1<<14, 14)
+	a := &history.Info{PC: 0x1000, Hist: 0x0000}
+	b := &history.Info{PC: 0x1000, Hist: 0x2aaa}
+	for i := 0; i < 4; i++ {
+		p.Update(a, true)
+		p.Update(b, false)
+	}
+	if !p.Predict(a) || p.Predict(b) {
+		t.Error("histories collided in the table")
+	}
+}

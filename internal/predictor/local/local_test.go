@@ -1,0 +1,83 @@
+package local
+
+import (
+	"testing"
+
+	"ev8pred/internal/history"
+	"ev8pred/internal/predictor"
+	"ev8pred/internal/predictor/predtest"
+	"ev8pred/internal/rng"
+)
+
+func TestConformance(t *testing.T) {
+	predtest.Conformance(t, func() predictor.Predictor { return MustNew(1024, 10) })
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := New(1000, 10); err == nil {
+		t.Error("non-power-of-two entries accepted")
+	}
+	if _, err := New(1024, 0); err == nil {
+		t.Error("zero history bits accepted")
+	}
+	if _, err := New(1024, 17); err == nil {
+		t.Error("history bits > 16 accepted")
+	}
+}
+
+func TestSizeBits(t *testing.T) {
+	p := MustNew(1024, 10)
+	want := 1024*10 + 2*1024
+	if got := p.SizeBits(); got != want {
+		t.Errorf("SizeBits = %d, want %d", got, want)
+	}
+}
+
+func TestLearnsPeriodicPatternWithoutGlobalInfo(t *testing.T) {
+	// The local predictor's defining strength: per-branch periodic
+	// behavior is captured even when the global history is pure noise.
+	p := MustNew(256, 12)
+	r := rng.New(42, 0)
+	pattern := []bool{true, true, false, true, false}
+	misses, total := 0, 0
+	for i := 0; i < 3000; i++ {
+		taken := pattern[i%len(pattern)]
+		in := &history.Info{PC: 0x100, Hist: r.Uint64()} // garbage global history
+		if i > 500 {
+			total++
+			if p.Predict(in) != taken {
+				misses++
+			}
+		}
+		p.Update(in, taken)
+	}
+	if rate := float64(misses) / float64(total); rate > 0.02 {
+		t.Errorf("local predictor missed a period-5 pattern %.1f%% of the time", 100*rate)
+	}
+}
+
+func TestSeparateLocalHistories(t *testing.T) {
+	// Two branches with different patterns must not pollute each other's
+	// local history registers.
+	p := MustNew(256, 8)
+	misses := 0
+	for i := 0; i < 2000; i++ {
+		aTaken := i%2 == 0 // alternating
+		bTaken := true     // always taken
+		a := &history.Info{PC: 0x100}
+		b := &history.Info{PC: 0x200}
+		if i > 400 {
+			if p.Predict(a) != aTaken {
+				misses++
+			}
+			if p.Predict(b) != bTaken {
+				misses++
+			}
+		}
+		p.Update(a, aTaken)
+		p.Update(b, bTaken)
+	}
+	if misses > 40 {
+		t.Errorf("%d misses across two independent branches", misses)
+	}
+}

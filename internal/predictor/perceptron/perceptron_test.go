@@ -1,0 +1,122 @@
+package perceptron
+
+import (
+	"testing"
+
+	"ev8pred/internal/history"
+	"ev8pred/internal/predictor"
+	"ev8pred/internal/predictor/predtest"
+	"ev8pred/internal/rng"
+)
+
+func TestConformance(t *testing.T) {
+	predtest.Conformance(t, func() predictor.Predictor { return MustNew(256, 16) })
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := New(100, 10); err == nil {
+		t.Error("non-power-of-two entries accepted")
+	}
+	if _, err := New(64, 0); err == nil {
+		t.Error("zero history accepted")
+	}
+	if _, err := New(64, 65); err == nil {
+		t.Error("oversized history accepted")
+	}
+}
+
+func TestSizeBits(t *testing.T) {
+	p := MustNew(1024, 27)
+	want := 1024 * 28 * WeightBits
+	if got := p.SizeBits(); got != want {
+		t.Errorf("SizeBits = %d, want %d", got, want)
+	}
+}
+
+func TestLearnsSingleTapCorrelation(t *testing.T) {
+	// outcome = history bit 5: linearly separable, the perceptron's
+	// bread and butter.
+	p := MustNew(256, 16)
+	var ghist history.Register
+	r := rng.New(9, 9)
+	misses, total := 0, 0
+	for i := 0; i < 3000; i++ {
+		taken := (ghist.Value()>>5)&1 == 1
+		in := &history.Info{PC: 0x100, Hist: ghist.Value()}
+		if i > 500 {
+			total++
+			if p.Predict(in) != taken {
+				misses++
+			}
+		}
+		p.Update(in, taken)
+		ghist.Shift(taken)
+		// Noise branches from other PCs keep the history moving.
+		noise := r.Bool(0.5)
+		nin := &history.Info{PC: 0x900, Hist: ghist.Value()}
+		p.Update(nin, noise)
+		ghist.Shift(noise)
+	}
+	if rate := float64(misses) / float64(total); rate > 0.05 {
+		t.Errorf("perceptron miss rate %.3f on a single-tap function", rate)
+	}
+}
+
+func TestLearnsInvertedCorrelation(t *testing.T) {
+	// Negative weights: outcome = NOT history bit 3.
+	p := MustNew(64, 8)
+	var ghist history.Register
+	misses, total := 0, 0
+	r := rng.New(4, 2)
+	for i := 0; i < 2000; i++ {
+		taken := (ghist.Value()>>3)&1 == 0
+		in := &history.Info{PC: 0x40, Hist: ghist.Value()}
+		if i > 400 {
+			total++
+			if p.Predict(in) != taken {
+				misses++
+			}
+		}
+		p.Update(in, taken)
+		ghist.Shift(taken)
+		n := r.Bool(0.5)
+		p.Update(&history.Info{PC: 0x80, Hist: ghist.Value()}, n)
+		ghist.Shift(n)
+	}
+	if rate := float64(misses) / float64(total); rate > 0.05 {
+		t.Errorf("perceptron miss rate %.3f on an inverted tap", rate)
+	}
+}
+
+func TestWeightsSaturate(t *testing.T) {
+	p := MustNew(64, 8)
+	in := &history.Info{PC: 0x10, Hist: 0xff}
+	for i := 0; i < 1000; i++ {
+		p.Update(in, true)
+	}
+	const limit = 1<<(WeightBits-1) - 1
+	w := p.weights[predictor.PCBits(in.PC, p.pcBits)]
+	for i, v := range w {
+		if v > limit || v < -limit {
+			t.Errorf("weight %d = %d beyond saturation %d", i, v, limit)
+		}
+	}
+}
+
+func TestThresholdStopsTraining(t *testing.T) {
+	// Once confidently correct (|output| > theta), weights stop moving.
+	p := MustNew(64, 8)
+	in := &history.Info{PC: 0x20, Hist: 0x0f}
+	for i := 0; i < 200; i++ {
+		p.Update(in, true)
+	}
+	w := p.weights[predictor.PCBits(in.PC, p.pcBits)]
+	snapshot := make([]int8, len(w))
+	copy(snapshot, w)
+	p.Update(in, true)
+	for i := range w {
+		if w[i] != snapshot[i] {
+			t.Fatal("weights changed beyond the training threshold")
+		}
+	}
+}

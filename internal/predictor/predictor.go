@@ -1,0 +1,51 @@
+// Package predictor defines the conditional-branch-predictor interface the
+// whole library is built around, plus the indexing helpers shared by the
+// concrete schemes in its subpackages.
+//
+// A Predictor is a pure consumer of the per-branch information vector
+// (history.Info): it never maintains its own history. The front-end tracker
+// (package frontend) decides what history the predictor sees — conventional
+// ghist, block-compressed lghist, delayed lghist, with or without path
+// information — which is exactly the separation the paper's Figure 7
+// exploits to compare information vectors on a fixed prediction scheme.
+package predictor
+
+import (
+	"ev8pred/internal/bitutil"
+	"ev8pred/internal/history"
+)
+
+// Predictor is a conditional branch predictor under trace-driven
+// simulation with immediate update (the paper's methodology, §8.1.1).
+type Predictor interface {
+	// Predict returns the predicted direction for the branch described
+	// by info (true = taken).
+	Predict(info *history.Info) bool
+	// Update trains the predictor with the architectural outcome. It is
+	// called exactly once per branch, after Predict, with the same info.
+	Update(info *history.Info, taken bool)
+	// Name identifies the configuration in reports (e.g. "gshare-2Mbit").
+	Name() string
+	// SizeBits returns the predictor's total storage budget in bits.
+	SizeBits() int
+	// Reset restores the power-on state (all counters weakly not-taken).
+	Reset()
+}
+
+// PCBits extracts n address bits from a branch PC, skipping the two
+// always-zero alignment bits. Every PC-indexed table in the library uses
+// this so that sequential instructions map to sequential entries.
+func PCBits(pc uint64, n int) uint64 {
+	return (pc >> 2) & bitutil.Mask(n)
+}
+
+// GshareIndex is the classical gshare hash: history folded to the index
+// width XORed with PC bits.
+func GshareIndex(pc, hist uint64, histLen, indexBits int) uint64 {
+	return PCBits(pc, indexBits) ^ bitutil.FoldXOR(hist, histLen, indexBits)
+}
+
+// HistMask truncates a history word to histLen bits.
+func HistMask(hist uint64, histLen int) uint64 {
+	return hist & bitutil.Mask(histLen)
+}

@@ -1,0 +1,92 @@
+package yags
+
+import (
+	"testing"
+
+	"ev8pred/internal/history"
+	"ev8pred/internal/predictor"
+	"ev8pred/internal/predictor/predtest"
+)
+
+func TestConformance(t *testing.T) {
+	predtest.Conformance(t, func() predictor.Predictor { return MustNew(4096, 4096, 12) })
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := New(1000, 64, 10); err == nil {
+		t.Error("non-power-of-two choice entries accepted")
+	}
+	if _, err := New(1024, 100, 10); err == nil {
+		t.Error("non-power-of-two cache entries accepted")
+	}
+	if _, err := New(1024, 64, -2); err == nil {
+		t.Error("negative history accepted")
+	}
+}
+
+func TestPaperSizes(t *testing.T) {
+	// §8.2: "a 288 Kbits and 576 Kbits YAGS predictor ... the small
+	// configuration consists of a 16K entry bimodal and two 16K
+	// partially tagged tables ... tags are 6 bits wide".
+	small := MustNew(16*1024, 16*1024, 23)
+	if got := small.SizeBits(); got != 288*1024 {
+		t.Errorf("small YAGS = %d bits, want 288 Kbit", got)
+	}
+	large := MustNew(32*1024, 32*1024, 25)
+	if got := large.SizeBits(); got != 576*1024 {
+		t.Errorf("large YAGS = %d bits, want 576 Kbit", got)
+	}
+}
+
+func TestExceptionCaching(t *testing.T) {
+	// A branch that is taken except under one history pattern: the
+	// bimodal choice learns "taken"; the not-taken cache learns the
+	// exception pattern.
+	p := MustNew(256, 256, 8)
+	common := &history.Info{PC: 0x300, Hist: 0x0f}
+	rare := &history.Info{PC: 0x300, Hist: 0xf0}
+	for i := 0; i < 10; i++ {
+		p.Update(common, true)
+		p.Update(rare, false)
+	}
+	if !p.Predict(common) {
+		t.Error("common pattern mispredicted")
+	}
+	if p.Predict(rare) {
+		t.Error("exception pattern not cached")
+	}
+}
+
+func TestMissInSearchedCacheFallsBackToChoice(t *testing.T) {
+	p := MustNew(256, 256, 8)
+	in := &history.Info{PC: 0x400, Hist: 0x11}
+	for i := 0; i < 4; i++ {
+		p.Update(in, true) // trains choice toward taken; no exception
+	}
+	// A different history (cache miss) must fall back to the bimodal
+	// choice: taken.
+	other := &history.Info{PC: 0x400, Hist: 0x2ee}
+	if !p.Predict(other) {
+		t.Error("cache miss should fall back to the bimodal prediction")
+	}
+}
+
+func TestTagMismatchIsMiss(t *testing.T) {
+	p := MustNew(64, 64, 6)
+	// Allocate an exception for branch A.
+	a := &history.Info{PC: 0x500, Hist: 0x15}
+	p.choice.Set(predictor.PCBits(a.PC, 6), 3) // choice: taken
+	p.Update(a, false)                         // mispredict -> allocate in NT cache
+	// Branch B aliases to the same cache line but has a different tag:
+	// same (pc^hist) fold, different PC low bits.
+	b := &history.Info{PC: 0x504, Hist: 0x14}
+	if p.cacheIndex(a) != p.cacheIndex(b) {
+		t.Skip("vectors no longer alias")
+	}
+	p.choice.Set(predictor.PCBits(b.PC, 6), 3)
+	// B must NOT see A's exception entry (tag mismatch) and so predicts
+	// taken via its choice entry.
+	if !p.Predict(b) {
+		t.Error("tag mismatch treated as a hit")
+	}
+}

@@ -1,0 +1,61 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tbl := New("My Title", "name", "value")
+	tbl.AddRow("alpha", "1")
+	tbl.AddRowf("beta", 2.5)
+	tbl.AddNote("a footnote %d", 7)
+	out := tbl.String()
+	for _, want := range []string{"My Title", "=====", "name", "alpha", "beta", "2.50", "note: a footnote 7"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if tbl.Rows() != 2 {
+		t.Errorf("Rows = %d", tbl.Rows())
+	}
+	if tbl.Cell(1, 1) != "2.50" {
+		t.Errorf("Cell(1,1) = %q", tbl.Cell(1, 1))
+	}
+}
+
+func TestRowPadding(t *testing.T) {
+	tbl := New("", "a", "b", "c")
+	tbl.AddRow("only-one")
+	if tbl.Cell(0, 2) != "" {
+		t.Error("missing cells should be empty")
+	}
+	tbl.AddRow("x", "y", "z", "overflow")
+	if tbl.Cell(1, 2) != "z" {
+		t.Error("overflow cells should be dropped")
+	}
+}
+
+func TestAlignment(t *testing.T) {
+	tbl := New("", "label", "n")
+	tbl.AddRow("x", "1")
+	tbl.AddRow("longer", "100")
+	lines := strings.Split(strings.TrimSpace(tbl.String()), "\n")
+	// Numbers right-aligned: the "1" in the first data row ends at the
+	// same column as "100".
+	if len(lines) < 4 {
+		t.Fatalf("unexpected output:\n%s", tbl.String())
+	}
+	row1, row2 := lines[2], lines[3]
+	if len(row1) != len(row2) {
+		t.Errorf("rows not aligned:\n%q\n%q", row1, row2)
+	}
+}
+
+func TestEmptyTitle(t *testing.T) {
+	tbl := New("", "h")
+	tbl.AddRow("v")
+	if strings.HasPrefix(tbl.String(), "\n=") {
+		t.Error("empty title should not render a rule")
+	}
+}

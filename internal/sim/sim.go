@@ -1,0 +1,193 @@
+// Package sim drives trace-driven branch-prediction simulation: it feeds a
+// branch source through the front-end tracker, hands each conditional
+// branch's information vector to a predictor, and accumulates the paper's
+// metric (mispredictions per 1000 instructions, "misp/KI").
+//
+// Update timing follows the paper's methodology (§8.1.1): immediate update
+// by default, with an optional commit-delay mode used to reproduce the
+// authors' validation that the two are equivalent for these predictors.
+package sim
+
+import (
+	"fmt"
+
+	"ev8pred/internal/frontend"
+	"ev8pred/internal/history"
+	"ev8pred/internal/predictor"
+	"ev8pred/internal/trace"
+	"ev8pred/internal/workload"
+)
+
+// Options configures one simulation run.
+type Options struct {
+	// Mode selects the information vector (defaults to conventional
+	// ghist, the academic baseline).
+	Mode frontend.Mode
+	// MaxBranches stops the run after this many conditional branches
+	// (<= 0: run the source dry).
+	MaxBranches int64
+	// UpdateDelay postpones predictor updates by this many conditional
+	// branches, approximating update-at-commit. 0 = immediate update.
+	UpdateDelay int
+	// Warmup excludes the first Warmup conditional branches from the
+	// statistics (they still train the predictor). The paper's runs are
+	// long enough not to need it; short tests use it.
+	Warmup int64
+	// LenientFlow lets the front-end trackers absorb flow
+	// discontinuities instead of panicking. Needed when several threads
+	// are forced through one shared history context (the §3
+	// shared-history SMT model).
+	LenientFlow bool
+}
+
+// Result summarizes one run.
+type Result struct {
+	Predictor    string
+	Workload     string
+	Branches     int64 // measured conditional branches
+	Mispredicts  int64
+	Instructions int64 // total instructions over the measured stream
+	SizeBits     int
+}
+
+// MispKI returns mispredictions per 1000 instructions, the paper's metric.
+func (r Result) MispKI() float64 {
+	if r.Instructions == 0 {
+		return 0
+	}
+	return 1000 * float64(r.Mispredicts) / float64(r.Instructions)
+}
+
+// Accuracy returns the fraction of branches predicted correctly.
+func (r Result) Accuracy() float64 {
+	if r.Branches == 0 {
+		return 0
+	}
+	return 1 - float64(r.Mispredicts)/float64(r.Branches)
+}
+
+// String renders a one-line summary.
+func (r Result) String() string {
+	return fmt.Sprintf("%s on %s: %.3f misp/KI (%.2f%% accuracy, %d branches)",
+		r.Predictor, r.Workload, r.MispKI(), 100*r.Accuracy(), r.Branches)
+}
+
+// pendingUpdate is a deferred training event for the commit-delay mode.
+type pendingUpdate struct {
+	info  history.Info
+	taken bool
+}
+
+// BlockObserver is implemented by predictors that need to see every
+// completed fetch block, not just the branches — on the EV8 the
+// bank-number sequencing advances on every block (§6.2). Run wires the
+// front-end trackers' block stream to the predictor automatically.
+type BlockObserver interface {
+	ObserveBlock(frontend.Block)
+}
+
+// Run simulates p over src. Per-thread front-end trackers are created on
+// demand, so SMT-interleaved sources work transparently (each thread gets
+// its own history registers and path queue, as on the real machine).
+func Run(p predictor.Predictor, src trace.Source, opts Options) Result {
+	res := Result{Predictor: p.Name(), SizeBits: p.SizeBits()}
+	trackers := map[int]*frontend.Tracker{}
+	var queue []pendingUpdate
+
+	flush := func(keep int) {
+		for len(queue) > keep {
+			u := queue[0]
+			queue = queue[1:]
+			p.Update(&u.info, u.taken)
+		}
+	}
+
+	for {
+		if opts.MaxBranches > 0 && res.Branches >= opts.MaxBranches {
+			break
+		}
+		b, ok := src.Next()
+		if !ok {
+			break
+		}
+		tr := trackers[b.Thread]
+		if tr == nil {
+			tr = frontend.NewTracker(opts.Mode)
+			tr.SetThread(b.Thread)
+			tr.SetLenient(opts.LenientFlow)
+			if obs, ok := p.(BlockObserver); ok {
+				tr.OnBlock(obs.ObserveBlock)
+			}
+			trackers[b.Thread] = tr
+		}
+		info, isCond := tr.Process(b)
+		if res.Branches >= opts.Warmup {
+			res.Instructions += int64(b.Gap) + 1
+		}
+		if !isCond {
+			continue
+		}
+		pred := p.Predict(&info)
+		if res.Branches >= opts.Warmup && pred != b.Taken {
+			res.Mispredicts++
+		}
+		res.Branches++
+		if opts.UpdateDelay <= 0 {
+			p.Update(&info, b.Taken)
+		} else {
+			queue = append(queue, pendingUpdate{info: info, taken: b.Taken})
+			flush(opts.UpdateDelay)
+		}
+	}
+	flush(0)
+	if res.Branches > opts.Warmup {
+		res.Branches -= opts.Warmup
+	}
+	return res
+}
+
+// RunBenchmark builds the named synthetic benchmark with instrBudget
+// instructions and runs p over it.
+func RunBenchmark(p predictor.Predictor, prof workload.Profile, instrBudget int64, opts Options) (Result, error) {
+	g, err := workload.New(prof, instrBudget)
+	if err != nil {
+		return Result{}, err
+	}
+	r := Run(p, g, opts)
+	r.Workload = prof.Name
+	return r, nil
+}
+
+// Factory builds a fresh predictor instance for one benchmark run.
+// Experiments use factories so that every benchmark starts cold.
+type Factory func() (predictor.Predictor, error)
+
+// RunSuite runs a fresh predictor from factory over every profile.
+func RunSuite(factory Factory, profs []workload.Profile, instrBudget int64, opts Options) ([]Result, error) {
+	out := make([]Result, 0, len(profs))
+	for _, prof := range profs {
+		p, err := factory()
+		if err != nil {
+			return nil, fmt.Errorf("sim: building predictor for %s: %w", prof.Name, err)
+		}
+		r, err := RunBenchmark(p, prof, instrBudget, opts)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// Mean returns the arithmetic mean misp/KI across results (the summary
+// statistic the experiment harness reports next to per-benchmark rows).
+func Mean(rs []Result) float64 {
+	if len(rs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, r := range rs {
+		sum += r.MispKI()
+	}
+	return sum / float64(len(rs))
+}

@@ -1,0 +1,84 @@
+// Package sweep provides the parameter-sweep machinery behind the paper's
+// design-space exploration (§4.5–4.7, §5.3): run a predictor family across
+// one integer-valued design parameter (history length, table size, ...)
+// over the benchmark suite and locate the best point. cmd/ev8sweep is the
+// CLI; the §5.3 claim — the optimal history length of a large predictor
+// exceeds log2 of its table size — is checked by this package's tests.
+package sweep
+
+import (
+	"fmt"
+
+	"ev8pred/internal/predictor"
+	"ev8pred/internal/report"
+	"ev8pred/internal/sim"
+	"ev8pred/internal/workload"
+)
+
+// Factory builds one family member for a parameter value.
+type Factory func(x int) (predictor.Predictor, error)
+
+// Point is one swept design point.
+type Point struct {
+	// X is the parameter value.
+	X int
+	// Mean is the suite-mean misp/KI.
+	Mean float64
+	// Results holds the per-benchmark results.
+	Results []sim.Result
+}
+
+// Run sweeps the parameter values in xs. Every point runs every benchmark
+// cold (a fresh predictor per benchmark, as in the experiment harness).
+func Run(factory Factory, xs []int, profs []workload.Profile, instrBudget int64, opts sim.Options) ([]Point, error) {
+	if len(xs) == 0 {
+		return nil, fmt.Errorf("sweep: no parameter values")
+	}
+	out := make([]Point, 0, len(xs))
+	for _, x := range xs {
+		rs, err := sim.RunSuite(func() (predictor.Predictor, error) {
+			return factory(x)
+		}, profs, instrBudget, opts)
+		if err != nil {
+			return nil, fmt.Errorf("sweep: x=%d: %w", x, err)
+		}
+		out = append(out, Point{X: x, Mean: sim.Mean(rs), Results: rs})
+	}
+	return out, nil
+}
+
+// Best returns the point with the lowest mean misp/KI (ties: first).
+func Best(points []Point) Point {
+	best := points[0]
+	for _, p := range points[1:] {
+		if p.Mean < best.Mean {
+			best = p
+		}
+	}
+	return best
+}
+
+// Table renders a sweep as a report table: one row per parameter value,
+// one column per benchmark plus the mean.
+func Table(title, param string, points []Point) *report.Table {
+	if len(points) == 0 {
+		return report.New(title, param)
+	}
+	headers := []string{param}
+	for _, r := range points[0].Results {
+		headers = append(headers, r.Workload)
+	}
+	headers = append(headers, "MEAN")
+	t := report.New(title, headers...)
+	best := Best(points)
+	for _, p := range points {
+		cells := []interface{}{fmt.Sprintf("%d", p.X)}
+		for _, r := range p.Results {
+			cells = append(cells, r.MispKI())
+		}
+		cells = append(cells, p.Mean)
+		t.AddRowf(cells...)
+	}
+	t.AddNote("best %s = %d (mean %.3f misp/KI)", param, best.X, best.Mean)
+	return t
+}

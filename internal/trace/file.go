@@ -1,0 +1,225 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Binary trace format ("EV8T"), designed for compactness and streaming:
+//
+//	header:  magic "EV8T" | version byte (1)
+//	record:  flags byte | zigzag-varint ΔPC | varint gap
+//	         [zigzag-varint Δtarget]   if flagHasTarget
+//	         [varint thread]           if flagThread
+//
+// ΔPC is relative to the previous record's PC; Δtarget is relative to the
+// record's own PC. Taken branches almost always carry a target; not-taken
+// records may omit it (flagHasTarget clear ⇒ Target = fall-through).
+// Deltas make typical records 3–5 bytes. The format is endianness-free
+// (varints only).
+
+const (
+	magic   = "EV8T"
+	version = 1
+
+	flagTaken     = 1 << 0
+	flagHasTarget = 1 << 1
+	flagThread    = 1 << 2
+	kindShift     = 3
+	kindMask      = 3 << kindShift
+)
+
+// ErrBadFormat is returned when a stream does not parse as a trace file.
+var ErrBadFormat = errors.New("trace: bad file format")
+
+// Writer encodes branches to an output stream.
+type Writer struct {
+	w      *bufio.Writer
+	prevPC uint64
+	n      int64
+	buf    []byte
+}
+
+// NewWriter writes the header and returns a Writer. Call Flush when done.
+func NewWriter(w io.Writer) (*Writer, error) {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(magic); err != nil {
+		return nil, err
+	}
+	if err := bw.WriteByte(version); err != nil {
+		return nil, err
+	}
+	return &Writer{w: bw, buf: make([]byte, 0, 4*binary.MaxVarintLen64+1)}, nil
+}
+
+// Write encodes one branch record.
+func (w *Writer) Write(b Branch) error {
+	w.buf = w.buf[:0]
+	flags := byte(0)
+	if b.Taken {
+		flags |= flagTaken
+	}
+	hasTarget := b.Target != b.FallThrough()
+	if hasTarget {
+		flags |= flagHasTarget
+	}
+	if b.Thread != 0 {
+		flags |= flagThread
+	}
+	if b.Kind >= numKinds {
+		return fmt.Errorf("trace: invalid record kind %d", b.Kind)
+	}
+	flags |= byte(b.Kind) << kindShift
+	w.buf = append(w.buf, flags)
+	w.buf = binary.AppendVarint(w.buf, int64(b.PC)-int64(w.prevPC))
+	w.buf = binary.AppendUvarint(w.buf, uint64(b.Gap))
+	if hasTarget {
+		w.buf = binary.AppendVarint(w.buf, int64(b.Target)-int64(b.PC))
+	}
+	if b.Thread != 0 {
+		w.buf = binary.AppendUvarint(w.buf, uint64(b.Thread))
+	}
+	w.prevPC = b.PC
+	w.n++
+	_, err := w.w.Write(w.buf)
+	return err
+}
+
+// Count returns the number of records written so far.
+func (w *Writer) Count() int64 { return w.n }
+
+// Flush flushes buffered output. It must be called before closing the
+// underlying file.
+func (w *Writer) Flush() error { return w.w.Flush() }
+
+// WriteAll streams an entire source to w and returns the record count.
+func WriteAll(w io.Writer, src Source) (int64, error) {
+	tw, err := NewWriter(w)
+	if err != nil {
+		return 0, err
+	}
+	for {
+		b, ok := src.Next()
+		if !ok {
+			break
+		}
+		if err := tw.Write(b); err != nil {
+			return tw.Count(), err
+		}
+	}
+	return tw.Count(), tw.Flush()
+}
+
+// Reader decodes branches from an input stream produced by Writer.
+type Reader struct {
+	r      *bufio.Reader
+	prevPC uint64
+	err    error
+}
+
+// NewReader validates the header and returns a Reader.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, len(magic)+1)
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+	}
+	if string(head[:len(magic)]) != magic {
+		return nil, fmt.Errorf("%w: missing magic", ErrBadFormat)
+	}
+	if head[len(magic)] != version {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadFormat, head[len(magic)])
+	}
+	return &Reader{r: br}, nil
+}
+
+// Read decodes the next record. It returns io.EOF at a clean end of stream.
+func (r *Reader) Read() (Branch, error) {
+	flags, err := r.r.ReadByte()
+	if err != nil {
+		if err == io.EOF {
+			return Branch{}, io.EOF
+		}
+		return Branch{}, err
+	}
+	dpc, err := binary.ReadVarint(r.r)
+	if err != nil {
+		return Branch{}, r.truncated(err)
+	}
+	gap, err := binary.ReadUvarint(r.r)
+	if err != nil {
+		return Branch{}, r.truncated(err)
+	}
+	b := Branch{
+		PC:    uint64(int64(r.prevPC) + dpc),
+		Taken: flags&flagTaken != 0,
+		Gap:   int(gap),
+		Kind:  Kind(flags & kindMask >> kindShift),
+	}
+	if flags&flagHasTarget != 0 {
+		dt, err := binary.ReadVarint(r.r)
+		if err != nil {
+			return Branch{}, r.truncated(err)
+		}
+		b.Target = uint64(int64(b.PC) + dt)
+	} else {
+		b.Target = b.FallThrough()
+	}
+	if flags&flagThread != 0 {
+		th, err := binary.ReadUvarint(r.r)
+		if err != nil {
+			return Branch{}, r.truncated(err)
+		}
+		b.Thread = int(th)
+	}
+	r.prevPC = b.PC
+	return b, nil
+}
+
+func (r *Reader) truncated(err error) error {
+	if err == io.EOF {
+		return fmt.Errorf("%w: truncated record", ErrBadFormat)
+	}
+	return err
+}
+
+// Next implements Source over the reader; decode errors terminate the
+// stream and are retrievable via Err.
+func (r *Reader) Next() (Branch, bool) {
+	if r.err != nil {
+		return Branch{}, false
+	}
+	b, err := r.Read()
+	if err != nil {
+		if err != io.EOF {
+			r.err = err
+		}
+		return Branch{}, false
+	}
+	return b, true
+}
+
+// Err returns the first non-EOF decode error encountered by Next.
+func (r *Reader) Err() error { return r.err }
+
+// ReadAll decodes an entire trace stream into memory.
+func ReadAll(rd io.Reader) ([]Branch, error) {
+	r, err := NewReader(rd)
+	if err != nil {
+		return nil, err
+	}
+	var out []Branch
+	for {
+		b, err := r.Read()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, b)
+	}
+}

@@ -1,0 +1,69 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReader throws arbitrary bytes at the decoder: it must never panic
+// and must terminate (either a clean record stream or an error).
+func FuzzReader(f *testing.F) {
+	// Seed with a valid trace.
+	var buf bytes.Buffer
+	if _, err := WriteAll(&buf, NewSlice(sampleBranches(50, 99))); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte(magic + "\x01"))
+	f.Add([]byte("EV8T\x01\xff\xff\xff\xff\xff\xff\xff\xff\xff\xff"))
+	f.Add([]byte{})
+	f.Add([]byte("garbage"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for i := 0; i < 1_000_000; i++ {
+			if _, err := r.Read(); err != nil {
+				return
+			}
+		}
+		t.Fatal("decoder failed to terminate on bounded input")
+	})
+}
+
+// FuzzRoundTrip checks encode→decode identity over arbitrary field values.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add(uint64(0x1000), uint64(0x2000), true, uint16(7), uint8(0), uint8(0))
+	f.Add(uint64(0), uint64(1<<62), false, uint16(65535), uint8(3), uint8(255))
+
+	f.Fuzz(func(t *testing.T, pc, target uint64, taken bool, gap uint16, kind, thread uint8) {
+		b := Branch{
+			PC:     pc,
+			Target: target,
+			Taken:  taken,
+			Gap:    int(gap),
+			Kind:   Kind(kind % uint8(numKinds)),
+			Thread: int(thread),
+		}
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Write(b); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadAll(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != 1 || got[0] != b {
+			t.Fatalf("round trip: wrote %+v, read %+v", b, got)
+		}
+	})
+}

@@ -1,0 +1,56 @@
+package trace
+
+import (
+	"bufio"
+	"compress/gzip"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Open opens a trace file written by Writer, transparently decompressing
+// gzip (detected by magic bytes, not file name). The returned closer must
+// be closed by the caller; the Reader becomes invalid afterwards.
+func Open(path string) (*Reader, io.Closer, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	br := bufio.NewReader(f)
+	head, err := br.Peek(2)
+	if err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("trace: %s: %w", path, ErrBadFormat)
+	}
+	var src io.Reader = br
+	var closers multiCloser = []io.Closer{f}
+	if head[0] == 0x1f && head[1] == 0x8b {
+		gz, err := gzip.NewReader(br)
+		if err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("trace: %s: %w", path, err)
+		}
+		src = gz
+		closers = append(multiCloser{gz}, closers...)
+	}
+	r, err := NewReader(src)
+	if err != nil {
+		closers.Close()
+		return nil, nil, fmt.Errorf("trace: %s: %w", path, err)
+	}
+	return r, closers, nil
+}
+
+// multiCloser closes a stack of closers in order.
+type multiCloser []io.Closer
+
+// Close closes every element, returning the first error.
+func (m multiCloser) Close() error {
+	var first error
+	for _, c := range m {
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -1,0 +1,182 @@
+// Package trace defines the branch-trace substrate of the library: the
+// dynamic conditional-branch record, streaming sources, a compact binary
+// on-disk format, and stream statistics (the Table 2 metrics of the paper).
+//
+// The paper's evaluation uses ATOM-collected SPECINT95 traces; this library
+// generates statistically calibrated synthetic traces (package workload)
+// but treats them through the same interfaces a file-based trace would use,
+// so real traces can be dropped in by implementing Source or by converting
+// to the on-disk format of this package (see Writer/Reader in file.go).
+package trace
+
+// Kind classifies a control-transfer record. Only Cond records are
+// predicted by the conditional branch predictors; the other kinds exist
+// because fetch blocks end on ANY taken control-flow instruction (§2 of the
+// paper), so the front end needs to see them to form blocks correctly.
+type Kind uint8
+
+const (
+	// Cond is a conditional branch.
+	Cond Kind = iota
+	// Jump is an unconditional direct jump (always taken).
+	Jump
+	// Call is a subroutine call (always taken).
+	Call
+	// Return is a subroutine return (always taken).
+	Return
+
+	numKinds
+)
+
+// String returns a short name for the kind.
+func (k Kind) String() string {
+	switch k {
+	case Cond:
+		return "cond"
+	case Jump:
+		return "jump"
+	case Call:
+		return "call"
+	case Return:
+		return "return"
+	default:
+		return "invalid"
+	}
+}
+
+// Branch is one dynamic control-transfer record in program order.
+type Branch struct {
+	// PC is the address of the branch instruction.
+	PC uint64
+	// Target is the address control flows to when the branch is taken.
+	Target uint64
+	// Taken is the architectural outcome. Always true for non-Cond kinds.
+	Taken bool
+	// Gap is the number of non-control-transfer instructions executed
+	// since the previous record (exclusive). Instruction counts — and
+	// therefore the misp/KI metric and fetch-block formation — derive
+	// from Gap. The address invariant the front end relies on is
+	// PC == previous record's NextPC + Gap*InstrBytes.
+	Gap int
+	// Kind classifies the transfer; the zero value is Cond.
+	Kind Kind
+	// Thread is the hardware-thread id for SMT workloads; 0 otherwise.
+	Thread int
+}
+
+// FallThrough returns the address of the instruction after the branch,
+// which is where control flows when the branch is not taken.
+func (b Branch) FallThrough() uint64 { return b.PC + InstrBytes }
+
+// NextPC returns the address control flows to given the outcome.
+func (b Branch) NextPC() uint64 {
+	if b.Taken {
+		return b.Target
+	}
+	return b.FallThrough()
+}
+
+// InstrBytes is the instruction size. Alpha instructions are 4 bytes; all
+// synthetic PCs are 4-byte aligned and fetch blocks are 32-byte aligned
+// groups of 8 instructions.
+const InstrBytes = 4
+
+// Source is a stream of dynamic branches. Next returns the next branch and
+// true, or a zero Branch and false at end of stream.
+type Source interface {
+	Next() (Branch, bool)
+}
+
+// Resetter is implemented by sources that can restart from the beginning.
+// All synthetic workloads and in-memory traces implement it.
+type Resetter interface {
+	Reset()
+}
+
+// Slice is an in-memory trace implementing Source and Resetter.
+type Slice struct {
+	Records []Branch
+	pos     int
+}
+
+// NewSlice wraps records in a replayable source.
+func NewSlice(records []Branch) *Slice { return &Slice{Records: records} }
+
+// Next implements Source.
+func (s *Slice) Next() (Branch, bool) {
+	if s.pos >= len(s.Records) {
+		return Branch{}, false
+	}
+	b := s.Records[s.pos]
+	s.pos++
+	return b, true
+}
+
+// Reset implements Resetter.
+func (s *Slice) Reset() { s.pos = 0 }
+
+// Collect drains a source into memory (up to max records; max <= 0 means
+// no limit). Useful for tests and for persisting synthetic traces.
+func Collect(src Source, max int) []Branch {
+	var out []Branch
+	for {
+		if max > 0 && len(out) >= max {
+			return out
+		}
+		b, ok := src.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, b)
+	}
+}
+
+// ForceThread wraps a source, rewriting every record's thread id — the
+// "shared history" SMT model of §3: all threads update one history
+// context, so cross-thread interference pollutes the history registers as
+// well as the tables.
+type ForceThread struct {
+	Src    Source
+	Thread int
+}
+
+// Next implements Source.
+func (f *ForceThread) Next() (Branch, bool) {
+	b, ok := f.Src.Next()
+	b.Thread = f.Thread
+	return b, ok
+}
+
+// Reset implements Resetter when the wrapped source does.
+func (f *ForceThread) Reset() {
+	if r, ok := f.Src.(Resetter); ok {
+		r.Reset()
+	}
+}
+
+// Limit wraps a source, truncating it after n records.
+type Limit struct {
+	Src Source
+	N   int
+	pos int
+}
+
+// Next implements Source.
+func (l *Limit) Next() (Branch, bool) {
+	if l.pos >= l.N {
+		return Branch{}, false
+	}
+	b, ok := l.Src.Next()
+	if ok {
+		l.pos++
+	}
+	return b, ok
+}
+
+// Reset implements Resetter when the wrapped source does.
+func (l *Limit) Reset() {
+	l.pos = 0
+	if r, ok := l.Src.(Resetter); ok {
+		r.Reset()
+	}
+}

@@ -1,0 +1,453 @@
+package trace
+
+import (
+	"bytes"
+	"compress/gzip"
+	"io"
+	"os"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"ev8pred/internal/rng"
+)
+
+func sampleBranches(n int, seed uint64) []Branch {
+	r := rng.New(seed, 0)
+	pc := uint64(0x1000)
+	out := make([]Branch, n)
+	for i := range out {
+		b := Branch{
+			PC:    pc,
+			Taken: r.Bool(0.6),
+			Gap:   r.Intn(12),
+		}
+		if r.Bool(0.9) {
+			b.Target = pc + uint64(r.Intn(4096))*InstrBytes - 2048*InstrBytes
+		} else {
+			b.Target = b.FallThrough()
+		}
+		if r.Bool(0.2) {
+			b.Thread = r.Intn(4)
+		}
+		if r.Bool(0.15) {
+			b.Kind = Kind(1 + r.Intn(3))
+			b.Taken = true
+		}
+		out[i] = b
+		pc += uint64(b.Gap+1) * InstrBytes
+		if b.Taken {
+			pc = b.Target
+		}
+	}
+	return out
+}
+
+func TestFallThroughAndNextPC(t *testing.T) {
+	b := Branch{PC: 0x100, Target: 0x200, Taken: true}
+	if b.FallThrough() != 0x104 {
+		t.Errorf("FallThrough = %#x", b.FallThrough())
+	}
+	if b.NextPC() != 0x200 {
+		t.Errorf("NextPC taken = %#x", b.NextPC())
+	}
+	b.Taken = false
+	if b.NextPC() != 0x104 {
+		t.Errorf("NextPC not-taken = %#x", b.NextPC())
+	}
+}
+
+func TestSliceSource(t *testing.T) {
+	recs := sampleBranches(10, 1)
+	s := NewSlice(recs)
+	for i := 0; i < 10; i++ {
+		b, ok := s.Next()
+		if !ok || b != recs[i] {
+			t.Fatalf("record %d mismatch", i)
+		}
+	}
+	if _, ok := s.Next(); ok {
+		t.Fatal("Next past end returned ok")
+	}
+	s.Reset()
+	if b, ok := s.Next(); !ok || b != recs[0] {
+		t.Fatal("Reset did not restart")
+	}
+}
+
+func TestCollect(t *testing.T) {
+	recs := sampleBranches(20, 2)
+	got := Collect(NewSlice(recs), 0)
+	if len(got) != 20 {
+		t.Fatalf("Collect all: %d", len(got))
+	}
+	got = Collect(NewSlice(recs), 5)
+	if len(got) != 5 {
+		t.Fatalf("Collect limited: %d", len(got))
+	}
+}
+
+func TestLimit(t *testing.T) {
+	recs := sampleBranches(20, 3)
+	l := &Limit{Src: NewSlice(recs), N: 7}
+	n := 0
+	for {
+		if _, ok := l.Next(); !ok {
+			break
+		}
+		n++
+	}
+	if n != 7 {
+		t.Fatalf("Limit yielded %d", n)
+	}
+	l.Reset()
+	if b, ok := l.Next(); !ok || b != recs[0] {
+		t.Fatal("Limit.Reset did not restart the inner source")
+	}
+}
+
+func TestStats(t *testing.T) {
+	s := NewStats()
+	s.Add(Branch{PC: 0x100, Taken: true, Gap: 9})
+	s.Add(Branch{PC: 0x200, Taken: false, Gap: 4})
+	s.Add(Branch{PC: 0x100, Taken: true, Gap: 9, Thread: 1})
+	s.Add(Branch{PC: 0x300, Taken: true, Gap: 5, Kind: Call})
+	if s.DynamicBranches != 3 || s.StaticBranches != 2 {
+		t.Errorf("dyn=%d static=%d", s.DynamicBranches, s.StaticBranches)
+	}
+	if s.Transfers != 1 {
+		t.Errorf("transfers = %d", s.Transfers)
+	}
+	if s.Instructions != 10+5+10+6 {
+		t.Errorf("instructions = %d", s.Instructions)
+	}
+	if s.Taken != 2 {
+		t.Errorf("taken = %d (calls must not count)", s.Taken)
+	}
+	if got := s.TakenRate(); got < 0.66 || got > 0.67 {
+		t.Errorf("TakenRate = %v", got)
+	}
+	if got := s.BranchesPerKI(); got < 96 || got > 97 {
+		t.Errorf("BranchesPerKI = %v", got)
+	}
+	if th := s.Threads(); len(th) != 2 || th[0] != 0 || th[1] != 1 {
+		t.Errorf("Threads = %v", th)
+	}
+	if !strings.Contains(s.String(), "3 dyn cond branches") {
+		t.Errorf("String = %q", s.String())
+	}
+}
+
+func TestKindString(t *testing.T) {
+	names := map[Kind]string{Cond: "cond", Jump: "jump", Call: "call", Return: "return", Kind(9): "invalid"}
+	for k, want := range names {
+		if k.String() != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, k.String(), want)
+		}
+	}
+}
+
+func TestWriterRejectsInvalidKind(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Write(Branch{Kind: Kind(7)}); err == nil {
+		t.Error("invalid kind accepted")
+	}
+}
+
+func TestStatsEmpty(t *testing.T) {
+	s := NewStats()
+	if s.TakenRate() != 0 || s.BranchesPerKI() != 0 {
+		t.Error("empty stats should report zero rates")
+	}
+}
+
+func TestMeasure(t *testing.T) {
+	recs := sampleBranches(100, 4)
+	wantCond := int64(0)
+	for _, b := range recs {
+		if b.Kind == Cond {
+			wantCond++
+		}
+	}
+	s := Measure(NewSlice(recs), 0)
+	if s.DynamicBranches != wantCond {
+		t.Fatalf("measured %d, want %d", s.DynamicBranches, wantCond)
+	}
+	if s.DynamicBranches+s.Transfers != 100 {
+		t.Fatalf("cond+transfers = %d", s.DynamicBranches+s.Transfers)
+	}
+	s = Measure(NewSlice(recs), 10)
+	if s.DynamicBranches != 10 {
+		t.Fatalf("limited measure %d", s.DynamicBranches)
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	recs := sampleBranches(5000, 5)
+	var buf bytes.Buffer
+	n, err := WriteAll(&buf, NewSlice(recs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 5000 {
+		t.Fatalf("wrote %d", n)
+	}
+	got, err := ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("read %d records", len(got))
+	}
+	for i := range recs {
+		if got[i] != recs[i] {
+			t.Fatalf("record %d: got %+v want %+v", i, got[i], recs[i])
+		}
+	}
+}
+
+func TestFileCompactness(t *testing.T) {
+	recs := sampleBranches(10000, 6)
+	var buf bytes.Buffer
+	if _, err := WriteAll(&buf, NewSlice(recs)); err != nil {
+		t.Fatal(err)
+	}
+	perRecord := float64(buf.Len()) / float64(len(recs))
+	if perRecord > 8 {
+		t.Errorf("%.1f bytes/record, want <= 8 (delta coding broken?)", perRecord)
+	}
+}
+
+func TestReaderAsSource(t *testing.T) {
+	recs := sampleBranches(50, 7)
+	var buf bytes.Buffer
+	if _, err := WriteAll(&buf, NewSlice(recs)); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := Collect(r, 0)
+	if len(got) != 50 {
+		t.Fatalf("source read %d", len(got))
+	}
+	if r.Err() != nil {
+		t.Fatalf("Err = %v", r.Err())
+	}
+}
+
+func TestReaderRejectsGarbage(t *testing.T) {
+	if _, err := NewReader(strings.NewReader("not a trace")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := NewReader(strings.NewReader("EV")); err == nil {
+		t.Error("short input accepted")
+	}
+	// Wrong version.
+	if _, err := NewReader(strings.NewReader(magic + "\x07")); err == nil {
+		t.Error("wrong version accepted")
+	}
+}
+
+func TestReaderTruncatedRecord(t *testing.T) {
+	recs := sampleBranches(10, 8)
+	var buf bytes.Buffer
+	if _, err := WriteAll(&buf, NewSlice(recs)); err != nil {
+		t.Fatal(err)
+	}
+	cut := buf.Bytes()[:buf.Len()-1]
+	_, err := ReadAll(bytes.NewReader(cut))
+	if err == nil {
+		t.Error("truncated trace decoded without error")
+	}
+}
+
+func TestReaderCleanEOF(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := WriteAll(&buf, NewSlice(nil)); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Read(); err != io.EOF {
+		t.Errorf("empty trace Read err = %v, want io.EOF", err)
+	}
+}
+
+func TestRoundTripQuick(t *testing.T) {
+	f := func(pcs []uint32, takens []bool) bool {
+		n := len(pcs)
+		if len(takens) < n {
+			n = len(takens)
+		}
+		recs := make([]Branch, 0, n)
+		for i := 0; i < n; i++ {
+			b := Branch{
+				PC:    uint64(pcs[i]) &^ 3,
+				Taken: takens[i],
+				Gap:   int(pcs[i] % 13),
+			}
+			b.Target = b.PC ^ (uint64(pcs[i]) << 2 & 0xfffc)
+			recs = append(recs, b)
+		}
+		var buf bytes.Buffer
+		if _, err := WriteAll(&buf, NewSlice(recs)); err != nil {
+			return false
+		}
+		got, err := ReadAll(&buf)
+		if err != nil || len(got) != len(recs) {
+			return false
+		}
+		for i := range recs {
+			if got[i] != recs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkWriter(b *testing.B) {
+	recs := sampleBranches(1000, 9)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if _, err := WriteAll(&buf, NewSlice(recs)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReader(b *testing.B) {
+	recs := sampleBranches(1000, 10)
+	var buf bytes.Buffer
+	if _, err := WriteAll(&buf, NewSlice(recs)); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ReadAll(bytes.NewReader(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestOpenPlainAndGzip(t *testing.T) {
+	recs := sampleBranches(500, 11)
+	dir := t.TempDir()
+
+	plain := dir + "/t.ev8t"
+	f, err := os.Create(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := WriteAll(f, NewSlice(recs)); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	zipped := dir + "/t.ev8t.gz"
+	f, err = os.Create(zipped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gz := gzip.NewWriter(f)
+	if _, err := WriteAll(gz, NewSlice(recs)); err != nil {
+		t.Fatal(err)
+	}
+	if err := gz.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	for _, path := range []string{plain, zipped} {
+		r, closer, err := Open(path)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		got := Collect(r, 0)
+		if err := closer.Close(); err != nil {
+			t.Fatalf("%s: close: %v", path, err)
+		}
+		if len(got) != len(recs) {
+			t.Fatalf("%s: read %d records, want %d", path, len(got), len(recs))
+		}
+		for i := range recs {
+			if got[i] != recs[i] {
+				t.Fatalf("%s: record %d mismatch", path, i)
+			}
+		}
+	}
+}
+
+func TestOpenErrors(t *testing.T) {
+	if _, _, err := Open(t.TempDir() + "/missing"); err == nil {
+		t.Error("missing file accepted")
+	}
+	bad := t.TempDir() + "/bad"
+	if err := os.WriteFile(bad, []byte("garbage here"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Open(bad); err == nil {
+		t.Error("garbage file accepted")
+	}
+}
+
+func TestForceThread(t *testing.T) {
+	recs := sampleBranches(20, 12)
+	ft := &ForceThread{Src: NewSlice(recs), Thread: 5}
+	n := 0
+	for {
+		b, ok := ft.Next()
+		if !ok {
+			break
+		}
+		if b.Thread != 5 {
+			t.Fatalf("record %d thread = %d", n, b.Thread)
+		}
+		n++
+	}
+	if n != len(recs) {
+		t.Fatalf("yielded %d records", n)
+	}
+	ft.Reset()
+	if b, ok := ft.Next(); !ok || b.Thread != 5 {
+		t.Fatal("Reset did not restart")
+	}
+}
+
+func TestReaderNextStopsOnDecodeError(t *testing.T) {
+	recs := sampleBranches(10, 13)
+	var buf bytes.Buffer
+	if _, err := WriteAll(&buf, NewSlice(recs)); err != nil {
+		t.Fatal(err)
+	}
+	cut := buf.Bytes()[:buf.Len()-1]
+	r, err := NewReader(bytes.NewReader(cut))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, ok := r.Next(); !ok {
+			break
+		}
+	}
+	if r.Err() == nil {
+		t.Error("truncated stream should surface a decode error via Err")
+	}
+	// Next after the error keeps returning false.
+	if _, ok := r.Next(); ok {
+		t.Error("Next after error returned a record")
+	}
+}

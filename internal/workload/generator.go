@@ -1,0 +1,223 @@
+package workload
+
+import (
+	"fmt"
+
+	"ev8pred/internal/history"
+	"ev8pred/internal/rng"
+	"ev8pred/internal/trace"
+)
+
+// Generator interprets a synthetic program, emitting trace records until an
+// instruction budget is exhausted. It implements trace.Source and
+// trace.Resetter and is fully deterministic given the profile seed.
+type Generator struct {
+	prof   Profile
+	prog   *program
+	budget int64
+
+	// execution state (reset by Reset). Switch-case selection draws from
+	// its own stream so dispatch density does not perturb the calibrated
+	// site-model draws.
+	r          *rng.PCG32
+	rswitch    *rng.PCG32
+	ghist      history.Register
+	stack      []frame
+	seqPos     int
+	patPos     []int
+	instr      int64
+	lastNextPC uint64
+	done       bool
+}
+
+// frameKind distinguishes the interpreter's stack frames.
+type frameKind uint8
+
+const (
+	frameFunc frameKind = iota
+	frameLoop
+	frameIfBody
+	frameSwitchCase
+)
+
+type frame struct {
+	kind   frameKind
+	stmts  []stmt
+	pos    int
+	remain int    // frameLoop: body executions remaining after this one
+	loop   *stmt  // frameLoop: the owning loop statement
+	fn     int    // frameFunc: function index
+	retPC  uint64 // frameFunc: dynamic return target
+	// frameSwitchCase: the case body's trailing jump.
+	jumpPC     uint64
+	jumpTarget uint64
+}
+
+// New builds the program for prof and returns a generator that emits
+// records until instrBudget instructions have been executed.
+// instrBudget <= 0 means unbounded (callers must impose their own limit).
+func New(prof Profile, instrBudget int64) (*Generator, error) {
+	if err := prof.Validate(); err != nil {
+		return nil, err
+	}
+	g := &Generator{
+		prof:   prof,
+		prog:   buildProgram(prof),
+		budget: instrBudget,
+	}
+	g.Reset()
+	return g, nil
+}
+
+// MustNew is New but panics on error; for the fixed built-in profiles.
+func MustNew(prof Profile, instrBudget int64) *Generator {
+	g, err := New(prof, instrBudget)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Profile returns the generator's profile.
+func (g *Generator) Profile() Profile { return g.prof }
+
+// StaticSites returns the number of conditional branch sites in the program.
+func (g *Generator) StaticSites() int { return g.prog.numSites }
+
+// Reset restarts execution from the beginning; the emitted stream is
+// bit-identical to the previous run.
+func (g *Generator) Reset() {
+	g.r = rng.New(g.prof.Seed, streamExec)
+	g.rswitch = rng.New(g.prof.Seed, streamExec+1)
+	g.ghist.Reset()
+	g.stack = g.stack[:0]
+	g.seqPos = 0
+	if g.patPos == nil {
+		g.patPos = make([]int, g.prog.numSites)
+	}
+	for i := range g.patPos {
+		g.patPos[i] = 0
+	}
+	g.instr = 0
+	g.lastNextPC = g.prog.driverStart
+	g.done = false
+}
+
+// Next implements trace.Source.
+func (g *Generator) Next() (trace.Branch, bool) {
+	if g.done {
+		return trace.Branch{}, false
+	}
+	b := g.step()
+	g.instr += int64(b.Gap) + 1
+	if g.budget > 0 && g.instr >= g.budget {
+		g.done = true
+	}
+	return b, true
+}
+
+// emit finalizes a record at pc: the gap is the real address distance from
+// the previous control transfer's successor, which is what makes the
+// front-end flow reconstruction exact.
+func (g *Generator) emit(pc, target uint64, taken bool, kind trace.Kind) trace.Branch {
+	if pc < g.lastNextPC {
+		panic(fmt.Sprintf("workload: layout regression: pc %#x < flow %#x", pc, g.lastNextPC))
+	}
+	b := trace.Branch{
+		PC:     pc,
+		Target: target,
+		Taken:  taken,
+		Gap:    int((pc - g.lastNextPC) / trace.InstrBytes),
+		Kind:   kind,
+	}
+	g.lastNextPC = b.NextPC()
+	return b
+}
+
+// step advances the interpreter until exactly one record is produced.
+func (g *Generator) step() trace.Branch {
+	for {
+		if len(g.stack) == 0 {
+			// Driver loop.
+			slot := g.seqPos
+			g.seqPos++
+			if slot == len(g.prog.callSeq) {
+				// Wrap: unconditional jump back to the driver start.
+				g.seqPos = 0
+				return g.emit(g.prog.jumpPC, g.prog.driverStart, true, trace.Jump)
+			}
+			fn := g.prog.callSeq[slot]
+			callPC := g.prog.callPCs[slot]
+			f := &g.prog.funcs[fn]
+			g.stack = append(g.stack, frame{
+				kind:  frameFunc,
+				stmts: f.body,
+				fn:    fn,
+				retPC: callPC + trace.InstrBytes,
+			})
+			return g.emit(callPC, f.entry, true, trace.Call)
+		}
+
+		f := &g.stack[len(g.stack)-1]
+		if f.pos >= len(f.stmts) {
+			switch f.kind {
+			case frameLoop:
+				s := f.loop
+				if f.remain > 0 {
+					f.remain--
+					f.pos = 0
+					g.ghist.Shift(true)
+					return g.emit(s.branchPC, s.target, true, trace.Cond)
+				}
+				g.stack = g.stack[:len(g.stack)-1]
+				g.ghist.Shift(false)
+				return g.emit(s.branchPC, s.target, false, trace.Cond)
+			case frameFunc:
+				fn := &g.prog.funcs[f.fn]
+				ret := f.retPC
+				g.stack = g.stack[:len(g.stack)-1]
+				return g.emit(fn.retPC, ret, true, trace.Return)
+			case frameSwitchCase:
+				pc, tgt := f.jumpPC, f.jumpTarget
+				g.stack = g.stack[:len(g.stack)-1]
+				return g.emit(pc, tgt, true, trace.Jump)
+			default: // frameIfBody
+				g.stack = g.stack[:len(g.stack)-1]
+				continue
+			}
+		}
+
+		s := &f.stmts[f.pos]
+		f.pos++
+		switch s.kind {
+		case stmtLoop:
+			trip := s.trip.draw(g.r)
+			g.stack = append(g.stack, frame{
+				kind:   frameLoop,
+				stmts:  s.body,
+				loop:   s,
+				remain: trip - 1,
+			})
+			// No record yet; the body runs, then the back edge emits.
+		case stmtIf:
+			taken := s.model.eval(g.r, g.ghist.Value(), &g.patPos[s.siteID])
+			g.ghist.Shift(taken)
+			if !taken && len(s.body) > 0 {
+				g.stack = append(g.stack, frame{kind: frameIfBody, stmts: s.body})
+			}
+			return g.emit(s.branchPC, s.target, taken, trace.Cond)
+		case stmtSwitch:
+			// Skewed dispatch: a hot case plus a uniform tail.
+			c := 0
+			if !g.rswitch.Bool(s.caseBias) && len(s.caseAddrs) > 1 {
+				c = 1 + g.rswitch.Intn(len(s.caseAddrs)-1)
+			}
+			g.stack = append(g.stack, frame{
+				kind:       frameSwitchCase,
+				jumpPC:     s.caseJumpPCs[c],
+				jumpTarget: s.join,
+			})
+			return g.emit(s.branchPC, s.caseAddrs[c], true, trace.Jump)
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package workload
+
+import "ev8pred/internal/trace"
+
+// Interleaved merges several branch sources into one stream the way an SMT
+// front end would observe it: round-robin over the threads with a quantum
+// of roughly quantum instructions per switch (the EV8 fetches for one
+// thread per cycle and rotates among ready threads). Records are tagged
+// with their thread id; a thread whose source is exhausted drops out.
+//
+// The interleaved stream is what makes the §3 SMT argument testable: a
+// predictor with one shared history register sees destructive cross-thread
+// interference, while per-thread histories (history.Info.Thread plus a
+// per-thread tracker) do not.
+type Interleaved struct {
+	srcs    []trace.Source
+	quantum int64
+	cur     int
+	used    int64
+	dead    []bool
+	alive   int
+}
+
+// NewInterleaved builds an SMT interleaver. quantum must be >= 1.
+func NewInterleaved(srcs []trace.Source, quantum int64) *Interleaved {
+	if quantum < 1 {
+		quantum = 1
+	}
+	return &Interleaved{
+		srcs:    srcs,
+		quantum: quantum,
+		dead:    make([]bool, len(srcs)),
+		alive:   len(srcs),
+	}
+}
+
+// Next implements trace.Source.
+func (iv *Interleaved) Next() (trace.Branch, bool) {
+	for iv.alive > 0 {
+		if iv.dead[iv.cur] || iv.used >= iv.quantum {
+			iv.rotate()
+			continue
+		}
+		b, ok := iv.srcs[iv.cur].Next()
+		if !ok {
+			iv.dead[iv.cur] = true
+			iv.alive--
+			iv.rotate()
+			continue
+		}
+		iv.used += int64(b.Gap) + 1
+		b.Thread = iv.cur
+		return b, true
+	}
+	return trace.Branch{}, false
+}
+
+func (iv *Interleaved) rotate() {
+	iv.used = 0
+	for i := 0; i < len(iv.srcs); i++ {
+		iv.cur = (iv.cur + 1) % len(iv.srcs)
+		if !iv.dead[iv.cur] {
+			return
+		}
+	}
+}
+
+// Reset implements trace.Resetter; it resets every thread source that
+// supports it and revives all threads.
+func (iv *Interleaved) Reset() {
+	for i, s := range iv.srcs {
+		if r, ok := s.(trace.Resetter); ok {
+			r.Reset()
+			iv.dead[i] = false
+		}
+	}
+	iv.alive = 0
+	for _, d := range iv.dead {
+		if !d {
+			iv.alive++
+		}
+	}
+	iv.cur = 0
+	iv.used = 0
+}
