@@ -3,9 +3,18 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench report fuzz examples clean
+.PHONY: all build vet test race bench check report fuzz examples clean
 
 all: build vet test
+
+# The full gate CI runs: static checks, build, the test suite under the
+# race detector, and a one-iteration benchmark smoke so the testing.B
+# harness cannot rot.
+check:
+	$(GO) vet ./...
+	$(GO) build ./...
+	$(GO) test -race ./...
+	$(GO) test -bench=Table1 -benchtime=1x -run '^$$' .
 
 build:
 	$(GO) build ./...

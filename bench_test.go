@@ -117,6 +117,30 @@ func BenchmarkBackupHierarchy(b *testing.B) {
 	runExperiment(b, "backup", benchConfig(200_000, "li"))
 }
 
+// Serial vs parallel harness: the same multi-cell experiment forced onto
+// the serial path (Workers 1) and fanned across the CPUs (Workers 0).
+// On a multi-core machine the ratio approximates the core count; the
+// outputs are byte-identical either way (see TestParallelSerialByteIdentical).
+
+func benchWorkers(b *testing.B, workers int) {
+	b.Helper()
+	cfg := benchConfig(200_000) // full suite: 8 cells per column
+	cfg.Workers = workers
+	e, err := experiments.ByID("fig5")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSuiteSerial(b *testing.B)   { benchWorkers(b, 1) }
+func BenchmarkSuiteParallel(b *testing.B) { benchWorkers(b, 0) }
+
 // Raw predictor throughput: branches predicted+updated per second.
 
 func benchPredictor(b *testing.B, p ev8pred.Predictor, mode ev8pred.Mode) {

@@ -5,10 +5,14 @@
 //
 //	ev8bench [-experiment all|table1|table2|fig5|...|ablations|perf|smt|backup]
 //	         [-instructions N] [-benchmarks gcc,go,...] [-o report.txt]
+//	         [-j workers] [-v]
 //
 // The default regenerates everything over 10M synthetic instructions per
 // benchmark (the paper uses 100M; pass -instructions 100000000 for the
-// full-scale run).
+// full-scale run). Simulation cells — one cold predictor over one
+// benchmark — run in parallel across the CPUs (-j 1 forces the serial
+// debugging path); the report is byte-identical for every -j. -v prints a
+// cells/throughput progress counter to stderr.
 package main
 
 import (
@@ -17,33 +21,79 @@ import (
 	"io"
 	"os"
 	"strings"
+	"sync"
 	"time"
 
 	"ev8pred/internal/experiments"
+	"ev8pred/internal/sim"
 	"ev8pred/internal/workload"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "ev8bench:", err)
 		os.Exit(1)
 	}
 }
 
-// run executes the tool; out receives the report unless -o redirects it.
-func run(args []string, out io.Writer) error {
+// progressCounter aggregates cell completions across every fan-out of the
+// run into a running cells/branches/throughput line. The pool serializes
+// Progress callbacks within one fan-out, but experiments may interleave
+// fan-outs, so the counter locks anyway.
+type progressCounter struct {
+	mu       sync.Mutex
+	w        io.Writer
+	start    time.Time
+	scope    string
+	cells    int
+	branches int64
+	instr    int64
+}
+
+func newProgressCounter(w io.Writer) *progressCounter {
+	return &progressCounter{w: w, start: time.Now()}
+}
+
+// setScope labels subsequent progress lines (the running experiment id).
+func (pc *progressCounter) setScope(s string) {
+	pc.mu.Lock()
+	pc.scope = s
+	pc.mu.Unlock()
+}
+
+// observe implements sim.ProgressFunc.
+func (pc *progressCounter) observe(ev sim.CellDone) {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	pc.cells++
+	pc.branches += ev.Branches
+	pc.instr += ev.Instructions
+	elapsed := time.Since(pc.start).Seconds()
+	rate := 0.0
+	if elapsed > 0 {
+		rate = float64(pc.branches) / elapsed
+	}
+	fmt.Fprintf(pc.w, "%s: cell %d/%d done (%d total), %.1fM branches, %.2fM br/s, %.1fs\n",
+		pc.scope, ev.Done, ev.Total, pc.cells, float64(pc.branches)/1e6, rate/1e6, elapsed)
+}
+
+// run executes the tool; out receives the report unless -o redirects it,
+// and errw receives the -v progress stream.
+func run(args []string, out, errw io.Writer) error {
 	fs := flag.NewFlagSet("ev8bench", flag.ContinueOnError)
 	var (
 		experiment   = fs.String("experiment", "all", "experiment id or 'all'; one of "+strings.Join(experiments.IDs(), ","))
 		instructions = fs.Int64("instructions", 10_000_000, "synthetic instructions per benchmark")
 		benchmarks   = fs.String("benchmarks", "", "comma-separated benchmark subset (default: all eight)")
 		outPath      = fs.String("o", "", "write the report to this file instead of stdout")
+		workers      = fs.Int("j", 0, "parallel simulation cells (0 = one per CPU, 1 = serial)")
+		verbose      = fs.Bool("v", false, "print a progress/throughput counter to stderr")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	cfg := experiments.Config{Instructions: *instructions}
+	cfg := experiments.Config{Instructions: *instructions, Workers: *workers}
 	if *benchmarks == "" {
 		cfg.Benchmarks = workload.Benchmarks()
 	} else {
@@ -54,6 +104,11 @@ func run(args []string, out io.Writer) error {
 			}
 			cfg.Benchmarks = append(cfg.Benchmarks, p)
 		}
+	}
+	var counter *progressCounter
+	if *verbose {
+		counter = newProgressCounter(errw)
+		cfg.Progress = counter.observe
 	}
 
 	var todo []experiments.Experiment
@@ -83,7 +138,11 @@ func run(args []string, out io.Writer) error {
 
 	fmt.Fprintf(w, "ev8bench: %d experiments, %d instructions/benchmark, %d benchmarks\n\n",
 		len(todo), cfg.Instructions, len(cfg.Benchmarks))
+	total := time.Now()
 	for _, e := range todo {
+		if counter != nil {
+			counter.setScope(e.ID)
+		}
 		start := time.Now()
 		tbl, err := e.Run(cfg)
 		if err != nil {
@@ -96,5 +155,25 @@ func run(args []string, out io.Writer) error {
 		}
 		fmt.Fprintf(w, "  (%.1fs)\n\n", time.Since(start).Seconds())
 	}
+	if counter != nil {
+		counter.mu.Lock()
+		cells, branches := counter.cells, counter.branches
+		counter.mu.Unlock()
+		elapsed := time.Since(total).Seconds()
+		rate := 0.0
+		if elapsed > 0 {
+			rate = float64(branches) / elapsed
+		}
+		fmt.Fprintf(errw, "total: %d cells, %.1fM branches, %.2fM br/s, %.1fs wall (workers=%d)\n",
+			cells, float64(branches)/1e6, rate/1e6, elapsed, effectiveWorkers(*workers))
+	}
 	return nil
+}
+
+// effectiveWorkers resolves the -j default for the summary line.
+func effectiveWorkers(j int) int {
+	if j <= 0 {
+		return sim.DefaultWorkers()
+	}
+	return j
 }

@@ -8,10 +8,10 @@ import (
 )
 
 func TestRunSingleExperiment(t *testing.T) {
-	var sb strings.Builder
+	var sb, eb strings.Builder
 	err := run([]string{
 		"-experiment", "table1",
-	}, &sb)
+	}, &sb, &eb)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -21,13 +21,16 @@ func TestRunSingleExperiment(t *testing.T) {
 			t.Errorf("output missing %q:\n%s", want, out)
 		}
 	}
+	if eb.Len() != 0 {
+		t.Errorf("progress output without -v: %q", eb.String())
+	}
 }
 
 func TestRunBenchmarkSubset(t *testing.T) {
-	var sb strings.Builder
+	var sb, eb strings.Builder
 	err := run([]string{
 		"-experiment", "table2", "-benchmarks", "li,perl", "-instructions", "100000",
-	}, &sb)
+	}, &sb, &eb)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -42,8 +45,8 @@ func TestRunBenchmarkSubset(t *testing.T) {
 
 func TestRunWritesFile(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "report.txt")
-	var sb strings.Builder
-	if err := run([]string{"-experiment", "table1", "-o", path}, &sb); err != nil {
+	var sb, eb strings.Builder
+	if err := run([]string{"-experiment", "table1", "-o", path}, &sb, &eb); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)
@@ -59,14 +62,63 @@ func TestRunWritesFile(t *testing.T) {
 }
 
 func TestRunErrors(t *testing.T) {
-	var sb strings.Builder
-	if err := run([]string{"-experiment", "nonesuch"}, &sb); err == nil {
+	var sb, eb strings.Builder
+	if err := run([]string{"-experiment", "nonesuch"}, &sb, &eb); err == nil {
 		t.Error("unknown experiment accepted")
 	}
-	if err := run([]string{"-benchmarks", "nonesuch"}, &sb); err == nil {
+	if err := run([]string{"-benchmarks", "nonesuch"}, &sb, &eb); err == nil {
 		t.Error("unknown benchmark accepted")
 	}
-	if err := run([]string{"-badflag"}, &sb); err == nil {
+	if err := run([]string{"-badflag"}, &sb, &eb); err == nil {
 		t.Error("bad flag accepted")
+	}
+}
+
+// TestRunWorkersIdenticalReport is the CLI-level determinism contract: the
+// report is byte-identical whether cells run serially (-j 1) or on a
+// crowded pool (-j 8). Timing lines vary run to run, so they are stripped
+// before comparison.
+func TestRunWorkersIdenticalReport(t *testing.T) {
+	render := func(j string) string {
+		var sb, eb strings.Builder
+		err := run([]string{
+			"-experiment", "fig10", "-benchmarks", "li,m88ksim",
+			"-instructions", "100000", "-j", j,
+		}, &sb, &eb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var kept []string
+		for _, line := range strings.Split(sb.String(), "\n") {
+			if strings.Contains(line, "s)") && strings.HasPrefix(strings.TrimSpace(line), "(") {
+				continue // per-experiment timing line
+			}
+			kept = append(kept, line)
+		}
+		return strings.Join(kept, "\n")
+	}
+	serial := render("1")
+	parallel := render("8")
+	if serial != parallel {
+		t.Errorf("-j 1 and -j 8 reports differ:\n--- j=1 ---\n%s\n--- j=8 ---\n%s", serial, parallel)
+	}
+}
+
+func TestRunVerboseProgress(t *testing.T) {
+	var sb, eb strings.Builder
+	err := run([]string{
+		"-experiment", "fig10", "-benchmarks", "li", "-instructions", "100000", "-v",
+	}, &sb, &eb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	progress := eb.String()
+	for _, want := range []string{"fig10: cell", "br/s", "total:", "cells"} {
+		if !strings.Contains(progress, want) {
+			t.Errorf("progress stream missing %q:\n%s", want, progress)
+		}
+	}
+	if strings.Contains(sb.String(), "br/s") {
+		t.Error("progress leaked into the report stream")
 	}
 }

@@ -12,7 +12,9 @@
 //	ev8sweep -scheme perceptron -param history -values 8,16,24,32
 //
 // Flags -benchmarks and -instructions scope the run; -mode selects the
-// information vector.
+// information vector. Every (value × benchmark) cell runs in parallel
+// across the CPUs (-j 1 forces the serial path); the table is
+// byte-identical for every -j.
 package main
 
 import (
@@ -50,6 +52,7 @@ func run(args []string, out io.Writer) error {
 		benchmarks   = fs.String("benchmarks", "all", "comma-separated benchmarks or 'all'")
 		instructions = fs.Int64("instructions", 5_000_000, "instructions per benchmark")
 		modeName     = fs.String("mode", "ghist", "information vector: ghist|lghist|ev8")
+		workers      = fs.Int("j", 0, "parallel simulation cells (0 = one per CPU, 1 = serial)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -92,7 +95,7 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
-	pts, err := sweep.Run(factory, xs, profsList, *instructions, sim.Options{Mode: mode})
+	pts, err := sweep.Run(factory, xs, profsList, *instructions, sim.Options{Mode: mode, Workers: *workers})
 	if err != nil {
 		return err
 	}

@@ -36,12 +36,7 @@ func init() {
 // update validation.
 func runAblations(cfg Config) (*report.Table, error) {
 	ghist := sim.Options{Mode: frontend.ModeGhist()}
-	type row struct {
-		name    string
-		opts    sim.Options
-		factory sim.Factory
-	}
-	rows := []row{
+	rows := []column{
 		{"2Bc-gskew 512Kb partial-update", ghist,
 			func() (predictor.Predictor, error) { return core.New(core.Config512K()) }},
 		{"2Bc-gskew 512Kb total-update", ghist,
@@ -99,11 +94,12 @@ func runAblations(cfg Config) (*report.Table, error) {
 	}
 	t := report.New("Ablations: mean misp/KI across the benchmark suite",
 		"configuration", "mean misp/KI", "size Kbits")
+	series, err := runColumns(cfg, rows)
+	if err != nil {
+		return nil, err
+	}
 	for _, r := range rows {
-		rs, err := suite(cfg, r.opts, r.factory)
-		if err != nil {
-			return nil, err
-		}
+		rs := series[r.name]
 		size := 0
 		if len(rs) > 0 {
 			size = rs[0].SizeBits / 1024
@@ -136,14 +132,14 @@ func addTrafficNote(t *report.Table, cfg Config) error {
 		pw, hw, _ := p.Traffic()
 		return pw + hw, nil
 	}
-	partial, err := measure(true)
+	writes, err := jobs(cfg, []func() (int64, error){
+		func() (int64, error) { return measure(true) },
+		func() (int64, error) { return measure(false) },
+	})
 	if err != nil {
 		return err
 	}
-	total, err := measure(false)
-	if err != nil {
-		return err
-	}
+	partial, total := writes[0], writes[1]
 	t.AddNote("§4.3 array-write traffic on %s: partial update %d writes vs total update %d (%.0f%% saved)",
 		prof.Name, partial, total, 100*(1-float64(partial)/float64(total)))
 	return nil

@@ -30,29 +30,48 @@ func runBackup(cfg Config) (*report.Table, error) {
 	t := report.New("Backup hierarchy: misp/KI (and override rate of the cascade)",
 		"benchmark", "EV8 352Kb", "EV8+perceptron 616Kb", "2Bc-gskew 4x1M (8Mb)",
 		"overrides/KI")
+	opts := sim.Options{Mode: frontend.ModeEV8()}
+	// Three independent jobs per benchmark; the cascade job also carries
+	// its override count out of the run.
+	type res struct {
+		r         sim.Result
+		overrides int64
+	}
+	const nvar = 3
+	fns := make([]func() (res, error), 0, len(cfg.Benchmarks)*nvar)
 	for _, prof := range cfg.Benchmarks {
-		opts := sim.Options{Mode: frontend.ModeEV8()}
-		alone, err := sim.RunBenchmark(ev8.MustNew(ev8.DefaultConfig()), prof, cfg.Instructions, opts)
-		if err != nil {
-			return nil, err
-		}
-		casc := cascade.MustNew(
-			ev8.MustNew(ev8.DefaultConfig()),
-			perceptron.MustNew(1024, 27),
-			cascade.Config{MinConfidence: 14, Name: "EV8+perceptron"})
-		withBackup, err := sim.RunBenchmark(casc, prof, cfg.Instructions, opts)
-		if err != nil {
-			return nil, err
-		}
-		brute, err := sim.RunBenchmark(core.MustNew(core.Config4M()), prof, cfg.Instructions,
-			sim.Options{Mode: frontend.ModeGhist()})
-		if err != nil {
-			return nil, err
-		}
-		overrides, _ := casc.Overrides()
+		fns = append(fns,
+			func() (res, error) {
+				r, err := sim.RunBenchmark(ev8.MustNew(ev8.DefaultConfig()), prof, cfg.Instructions, opts)
+				return res{r: r}, err
+			},
+			func() (res, error) {
+				casc := cascade.MustNew(
+					ev8.MustNew(ev8.DefaultConfig()),
+					perceptron.MustNew(1024, 27),
+					cascade.Config{MinConfidence: 14, Name: "EV8+perceptron"})
+				r, err := sim.RunBenchmark(casc, prof, cfg.Instructions, opts)
+				if err != nil {
+					return res{}, err
+				}
+				overrides, _ := casc.Overrides()
+				return res{r: r, overrides: overrides}, nil
+			},
+			func() (res, error) {
+				r, err := sim.RunBenchmark(core.MustNew(core.Config4M()), prof, cfg.Instructions,
+					sim.Options{Mode: frontend.ModeGhist()})
+				return res{r: r}, err
+			})
+	}
+	rs, err := jobs(cfg, fns)
+	if err != nil {
+		return nil, err
+	}
+	for bi, prof := range cfg.Benchmarks {
+		alone, withBackup, brute := rs[bi*nvar].r, rs[bi*nvar+1].r, rs[bi*nvar+2].r
 		overKI := 0.0
 		if withBackup.Instructions > 0 {
-			overKI = 1000 * float64(overrides) / float64(withBackup.Instructions)
+			overKI = 1000 * float64(rs[bi*nvar+1].overrides) / float64(withBackup.Instructions)
 		}
 		t.AddRowf(prof.Name, alone.MispKI(), withBackup.MispKI(), brute.MispKI(), overKI)
 	}

@@ -13,6 +13,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -29,6 +30,18 @@ type Config struct {
 	Instructions int64
 	// Benchmarks is the profile list (defaults to the full Table 2 set).
 	Benchmarks []workload.Profile
+	// Workers bounds how many simulation cells run concurrently: 0 uses
+	// one worker per CPU, 1 forces the serial debugging path. Rendered
+	// tables are byte-identical for every worker count.
+	Workers int
+	// Progress, if non-nil, receives one event per completed simulation
+	// cell (cmd/ev8bench -v wires a throughput counter here).
+	Progress sim.ProgressFunc
+}
+
+// pool returns the fan-out configuration shared by every generator.
+func (cfg Config) pool() sim.PoolOptions {
+	return sim.PoolOptions{Workers: cfg.Workers, Progress: cfg.Progress}
 }
 
 // Default returns the standard harness configuration.
@@ -100,9 +113,52 @@ func IDs() []string {
 }
 
 // suite runs a predictor factory over every benchmark and returns the
-// per-benchmark results in benchmark order.
+// per-benchmark results in benchmark order. Cells fan out through the
+// harness pool (cfg.Workers).
 func suite(cfg Config, opts sim.Options, factory sim.Factory) ([]sim.Result, error) {
-	return sim.RunSuite(factory, cfg.Benchmarks, cfg.Instructions, opts)
+	return sim.RunCells(context.Background(),
+		sim.SuiteCells(factory, cfg.Benchmarks, opts), cfg.Instructions, cfg.pool())
+}
+
+// column couples one table column (or ablation row) with its simulation
+// options and predictor factory.
+type column struct {
+	name    string
+	opts    sim.Options
+	factory sim.Factory
+}
+
+// runColumns fans every (column × benchmark) cell through ONE pool run —
+// a flat fan-out load-balances better than per-column suites — and
+// returns the per-column series in benchmark order, keyed by column name.
+func runColumns(cfg Config, cols []column) (map[string][]sim.Result, error) {
+	nb := len(cfg.Benchmarks)
+	cells := make([]sim.Cell, 0, len(cols)*nb)
+	for _, col := range cols {
+		for _, prof := range cfg.Benchmarks {
+			cells = append(cells, sim.Cell{Factory: col.factory, Profile: prof, Opts: col.opts})
+		}
+	}
+	rs, err := sim.RunCells(context.Background(), cells, cfg.Instructions, cfg.pool())
+	if err != nil {
+		return nil, err
+	}
+	series := make(map[string][]sim.Result, len(cols))
+	for ci, col := range cols {
+		series[col.name] = rs[ci*nb : (ci+1)*nb : (ci+1)*nb]
+	}
+	return series, nil
+}
+
+// jobs adapts a list of independent closures to the pool, preserving
+// order; generators whose cells are not plain (factory × benchmark) runs
+// (SMT interleavings, front-end runs, trace measurement) use it directly.
+func jobs[T any](cfg Config, fns []func() (T, error)) ([]T, error) {
+	wrapped := make([]func(context.Context) (T, error), len(fns))
+	for i, fn := range fns {
+		wrapped[i] = func(context.Context) (T, error) { return fn() }
+	}
+	return sim.Parallel(context.Background(), cfg.Workers, wrapped)
 }
 
 // addSeriesColumns builds the common per-benchmark × per-series misp/KI

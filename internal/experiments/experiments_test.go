@@ -3,6 +3,7 @@ package experiments
 import (
 	"strconv"
 	"strings"
+	"sync"
 	"testing"
 
 	"ev8pred/internal/core"
@@ -331,6 +332,63 @@ func TestAblationShapes(t *testing.T) {
 	}
 	if egskew > bimod {
 		t.Errorf("e-gskew (%.2f) should beat bimodal (%.2f)", egskew, bimod)
+	}
+}
+
+// TestParallelSerialByteIdentical is the contract the parallel execution
+// layer must uphold: the rendered report.Table output of an experiment is
+// byte-identical whether the cells run serially (Workers: 1) or on a
+// crowded pool (Workers: 8).
+func TestParallelSerialByteIdentical(t *testing.T) {
+	for _, id := range []string{"fig5", "smt"} {
+		t.Run(id, func(t *testing.T) {
+			e, err := ByID(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			render := func(workers int) string {
+				cfg := testConfig("li", "go")
+				cfg.Instructions = 200_000
+				cfg.Workers = workers
+				tbl, err := e.Run(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return tbl.String()
+			}
+			serial := render(1)
+			parallel := render(8)
+			if serial != parallel {
+				t.Errorf("Workers 1 vs 8 rendered tables differ:\n--- serial ---\n%s--- parallel ---\n%s",
+					serial, parallel)
+			}
+		})
+	}
+}
+
+// TestProgressEventsCoverAllCells checks the harness progress plumbing:
+// every simulation cell of an experiment reports exactly once.
+func TestProgressEventsCoverAllCells(t *testing.T) {
+	e, err := ByID("fig10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig("li", "go")
+	cfg.Instructions = 100_000
+	cfg.Workers = 2
+	var mu sync.Mutex
+	events := 0
+	cfg.Progress = func(sim.CellDone) {
+		mu.Lock()
+		events++
+		mu.Unlock()
+	}
+	if _, err := e.Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	// fig10: 2 columns x 2 benchmarks.
+	if events != 4 {
+		t.Errorf("progress events = %d, want 4", events)
 	}
 }
 

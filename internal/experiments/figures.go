@@ -81,13 +81,14 @@ func fig5Factories() (cols []string, fs map[string]sim.Factory) {
 
 func runFig5(cfg Config) (*report.Table, error) {
 	cols, fs := fig5Factories()
-	series := map[string][]sim.Result{}
-	for _, col := range cols {
-		rs, err := suite(cfg, sim.Options{Mode: frontend.ModeGhist()}, fs[col])
-		if err != nil {
-			return nil, err
-		}
-		series[col] = rs
+	ghist := sim.Options{Mode: frontend.ModeGhist()}
+	plan := make([]column, len(cols))
+	for i, col := range cols {
+		plan[i] = column{name: col, opts: ghist, factory: fs[col]}
+	}
+	series, err := runColumns(cfg, plan)
+	if err != nil {
+		return nil, err
 	}
 	t := report.New("Figure 5: misp/KI, global history schemes (conventional ghist, best history lengths)",
 		append([]string{"benchmark"}, cols...)...)
@@ -126,16 +127,20 @@ func runFig6(cfg Config) (*report.Table, error) {
 	}
 	cols := []string{"2Bc-gskew 256Kb", "2Bc-gskew 512Kb", "bimode 544Kb", "YAGS 288Kb", "YAGS 576Kb"}
 	opts := sim.Options{Mode: frontend.ModeGhist()}
+	// Both variants of every pair go through one flat fan-out.
+	plan := make([]column, 0, 2*len(cols))
+	for _, col := range cols {
+		plan = append(plan,
+			column{name: col + "/best", opts: opts, factory: pairs[col].best},
+			column{name: col + "/short", opts: opts, factory: pairs[col].short})
+	}
+	series, err := runColumns(cfg, plan)
+	if err != nil {
+		return nil, err
+	}
 	delta := map[string][]sim.Result{}
 	for _, col := range cols {
-		best, err := suite(cfg, opts, pairs[col].best)
-		if err != nil {
-			return nil, err
-		}
-		short, err := suite(cfg, opts, pairs[col].short)
-		if err != nil {
-			return nil, err
-		}
+		best, short := series[col+"/best"], series[col+"/short"]
 		ds := make([]sim.Result, len(best))
 		for i := range best {
 			// Encode the delta as a Result so the shared table
@@ -177,14 +182,14 @@ func runFig7(cfg Config) (*report.Table, error) {
 		"EV8 info vector": {frontend.ModeEV8(), pathCore},
 	}
 	cols := []string{"ghist", "lghist, no path", "lghist+path", "3-old lghist", "EV8 info vector"}
-	series := map[string][]sim.Result{}
-	for _, col := range cols {
+	plan := make([]column, len(cols))
+	for i, col := range cols {
 		v := variants[col]
-		rs, err := suite(cfg, sim.Options{Mode: v.mode}, v.factory)
-		if err != nil {
-			return nil, err
-		}
-		series[col] = rs
+		plan[i] = column{name: col, opts: sim.Options{Mode: v.mode}, factory: v.factory}
+	}
+	series, err := runColumns(cfg, plan)
+	if err != nil {
+		return nil, err
 	}
 	t := report.New("Figure 7: misp/KI by information vector (4x64K 2Bc-gskew)",
 		append([]string{"benchmark"}, cols...)...)
@@ -204,13 +209,13 @@ func runFig8(cfg Config) (*report.Table, error) {
 		"small BIM":        mk(core.ConfigSmallBIM()),
 		"EV8 size (352Kb)": mk(core.ConfigEV8Size()),
 	}
-	series := map[string][]sim.Result{}
-	for _, col := range cols {
-		rs, err := suite(cfg, sim.Options{Mode: frontend.ModeEV8()}, factories[col])
-		if err != nil {
-			return nil, err
-		}
-		series[col] = rs
+	plan := make([]column, len(cols))
+	for i, col := range cols {
+		plan[i] = column{name: col, opts: sim.Options{Mode: frontend.ModeEV8()}, factory: factories[col]}
+	}
+	series, err := runColumns(cfg, plan)
+	if err != nil {
+		return nil, err
 	}
 	t := report.New("Figure 8: misp/KI while shrinking tables (EV8 information vector)",
 		append([]string{"benchmark"}, cols...)...)
@@ -249,14 +254,14 @@ func runFig9(cfg Config) (*report.Table, error) {
 	}
 	cols := []string{"address only, no path", "address only, path", "no path",
 		"EV8", "complete hash", "2Bc-gskew ghist 512Kb"}
-	series := map[string][]sim.Result{}
-	for _, col := range cols {
+	plan := make([]column, len(cols))
+	for i, col := range cols {
 		v := variants[col]
-		rs, err := suite(cfg, sim.Options{Mode: v.mode}, v.factory)
-		if err != nil {
-			return nil, err
-		}
-		series[col] = rs
+		plan[i] = column{name: col, opts: sim.Options{Mode: v.mode}, factory: v.factory}
+	}
+	series, err := runColumns(cfg, plan)
+	if err != nil {
+		return nil, err
 	}
 	t := report.New("Figure 9: misp/KI under index-function constraints (352Kb EV8 predictor)",
 		append([]string{"benchmark"}, cols...)...)
@@ -279,14 +284,14 @@ func runFig10(cfg Config) (*report.Table, error) {
 		}},
 	}
 	cols := []string{"EV8 352Kb", "2Bc-gskew 4x1M (8Mb)"}
-	series := map[string][]sim.Result{}
-	for _, col := range cols {
+	plan := make([]column, len(cols))
+	for i, col := range cols {
 		v := variants[col]
-		rs, err := suite(cfg, sim.Options{Mode: v.mode}, v.factory)
-		if err != nil {
-			return nil, err
-		}
-		series[col] = rs
+		plan[i] = column{name: col, opts: sim.Options{Mode: v.mode}, factory: v.factory}
+	}
+	series, err := runColumns(cfg, plan)
+	if err != nil {
+		return nil, err
 	}
 	t := report.New("Figure 10: limits of global history (EV8 vs 4x1M-entry 2Bc-gskew)",
 		append([]string{"benchmark"}, cols...)...)

@@ -40,26 +40,36 @@ func runPerf(cfg Config) (*report.Table, error) {
 		{"ev8", func() (predictor.Predictor, error) { return ev8.New(ev8.DefaultConfig()) }},
 		{"bimodal", func() (predictor.Predictor, error) { return bimodal.New(4 * 1024) }},
 	}
+	// One job per (benchmark, variant): each is an independent front-end
+	// run with its own tracker, PC generator and line predictor.
+	fns := make([]func() (perf.Report, error), 0, len(cfg.Benchmarks)*len(variants))
 	for _, prof := range cfg.Benchmarks {
-		reports := make([]perf.Report, len(variants))
-		for i, v := range variants {
-			p, err := v.mk()
-			if err != nil {
-				return nil, err
-			}
-			r, err := sim.RunFrontEndBenchmark(p, prof, cfg.Instructions,
-				sim.Options{Mode: frontend.ModeEV8()}, sim.FrontEndConfig{})
-			if err != nil {
-				return nil, err
-			}
-			reports[i] = model.Estimate(perf.Inputs{
-				Instructions: r.Instructions,
-				Blocks:       r.Blocks,
-				PCGen:        r.PCGen,
-				LineMisses:   r.LineMisses,
+		for _, v := range variants {
+			fns = append(fns, func() (perf.Report, error) {
+				p, err := v.mk()
+				if err != nil {
+					return perf.Report{}, err
+				}
+				r, err := sim.RunFrontEndBenchmark(p, prof, cfg.Instructions,
+					sim.Options{Mode: frontend.ModeEV8()}, sim.FrontEndConfig{})
+				if err != nil {
+					return perf.Report{}, err
+				}
+				return model.Estimate(perf.Inputs{
+					Instructions: r.Instructions,
+					Blocks:       r.Blocks,
+					PCGen:        r.PCGen,
+					LineMisses:   r.LineMisses,
+				}), nil
 			})
 		}
-		oracle, ev8r, bim := reports[0], reports[1], reports[2]
+	}
+	reports, err := jobs(cfg, fns)
+	if err != nil {
+		return nil, err
+	}
+	for bi, prof := range cfg.Benchmarks {
+		oracle, ev8r, bim := reports[bi*3], reports[bi*3+1], reports[bi*3+2]
 		t.AddRowf(prof.Name, oracle.IPC, ev8r.IPC, bim.IPC,
 			perf.Speedup(ev8r, bim), 100*ev8r.IPC/oracle.IPC)
 	}

@@ -63,40 +63,57 @@ func runSMT(cfg Config) (*report.Table, error) {
 		"benchmark", "EV8 1T", "EV8 4T per-thread", "EV8 4T shared-hist",
 		"local 1T", "local 4T")
 	mode := sim.Options{Mode: frontend.ModeEV8()}
+	mkLocal := func() predictor.Predictor { return local.MustNew(4*1024, 16) }
+	// Five independent variants per benchmark, each a self-contained job
+	// (own predictor, own interleaved sources) fanned through the pool.
+	const nvar = 5
+	fns := make([]func() (sim.Result, error), 0, len(cfg.Benchmarks)*nvar)
 	for _, prof := range cfg.Benchmarks {
-		// EV8 single thread.
-		ev8Single, err := sim.RunBenchmark(ev8.MustNew(ev8.DefaultConfig()), prof, perThreadInstr, mode)
-		if err != nil {
-			return nil, err
+		variants := []func() (sim.Result, error){
+			// EV8 single thread.
+			func() (sim.Result, error) {
+				return sim.RunBenchmark(ev8.MustNew(ev8.DefaultConfig()), prof, perThreadInstr, mode)
+			},
+			// EV8 SMT with per-thread histories (the design).
+			func() (sim.Result, error) {
+				src, err := mkSMT(prof, false)
+				if err != nil {
+					return sim.Result{}, err
+				}
+				return sim.Run(ev8.MustNew(ev8.DefaultConfig()), src, mode), nil
+			},
+			// EV8 SMT with one shared history context.
+			func() (sim.Result, error) {
+				src, err := mkSMT(prof, true)
+				if err != nil {
+					return sim.Result{}, err
+				}
+				return sim.Run(ev8.MustNew(ev8.DefaultConfig()), src,
+					sim.Options{Mode: frontend.ModeEV8(), LenientFlow: true}), nil
+			},
+			// Local predictor, single thread and SMT (its tables are
+			// shared either way; SMT pollutes both levels).
+			func() (sim.Result, error) {
+				return sim.RunBenchmark(mkLocal(), prof, perThreadInstr, mode)
+			},
+			func() (sim.Result, error) {
+				src, err := mkSMT(prof, false)
+				if err != nil {
+					return sim.Result{}, err
+				}
+				return sim.Run(mkLocal(), src, mode), nil
+			},
 		}
-		// EV8 SMT with per-thread histories (the design).
-		src, err := mkSMT(prof, false)
-		if err != nil {
-			return nil, err
-		}
-		ev8Per := sim.Run(ev8.MustNew(ev8.DefaultConfig()), src, mode)
-		// EV8 SMT with one shared history context.
-		src, err = mkSMT(prof, true)
-		if err != nil {
-			return nil, err
-		}
-		ev8Shared := sim.Run(ev8.MustNew(ev8.DefaultConfig()), src,
-			sim.Options{Mode: frontend.ModeEV8(), LenientFlow: true})
-		// Local predictor, single thread and SMT (its tables are shared
-		// either way; SMT pollutes both levels).
-		mkLocal := func() predictor.Predictor { return local.MustNew(4*1024, 16) }
-		locSingle, err := sim.RunBenchmark(mkLocal(), prof, perThreadInstr, mode)
-		if err != nil {
-			return nil, err
-		}
-		src, err = mkSMT(prof, false)
-		if err != nil {
-			return nil, err
-		}
-		locSMT := sim.Run(mkLocal(), src, mode)
-
-		t.AddRowf(prof.Name, ev8Single.MispKI(), ev8Per.MispKI(),
-			ev8Shared.MispKI(), locSingle.MispKI(), locSMT.MispKI())
+		fns = append(fns, variants...)
+	}
+	rs, err := jobs(cfg, fns)
+	if err != nil {
+		return nil, err
+	}
+	for bi, prof := range cfg.Benchmarks {
+		row := rs[bi*nvar : (bi+1)*nvar]
+		t.AddRowf(prof.Name, row[0].MispKI(), row[1].MispKI(),
+			row[2].MispKI(), row[3].MispKI(), row[4].MispKI())
 	}
 	t.AddNote("4 threads run independent same-character programs (distinct seeds, overlapping address spaces)")
 	return t, nil

@@ -68,15 +68,29 @@ func runTable2(cfg Config) (*report.Table, error) {
 	t := report.New("Table 2: Benchmark characteristics",
 		"benchmark", "dyn br/KI (meas)", "dyn br/KI (paper)",
 		"static (meas)", "static (program)", "static (paper)", "taken%")
-	for _, prof := range cfg.Benchmarks {
-		g, err := workload.New(prof, cfg.Instructions)
-		if err != nil {
-			return nil, err
+	type row struct {
+		stats *trace.Stats
+		sites int
+	}
+	fns := make([]func() (row, error), len(cfg.Benchmarks))
+	for i, prof := range cfg.Benchmarks {
+		fns[i] = func() (row, error) {
+			g, err := workload.New(prof, cfg.Instructions)
+			if err != nil {
+				return row{}, err
+			}
+			return row{stats: trace.Measure(g, 0), sites: g.StaticSites()}, nil
 		}
-		s := trace.Measure(g, 0)
+	}
+	rows, err := jobs(cfg, fns)
+	if err != nil {
+		return nil, err
+	}
+	for i, prof := range cfg.Benchmarks {
+		s := rows[i].stats
 		paperKI := float64(paperDyn[prof.Name]) / 100.0 // per 100M instr -> per KI
 		t.AddRowf(prof.Name, s.BranchesPerKI(), paperKI,
-			s.StaticBranches, g.StaticSites(), paperStatic[prof.Name],
+			s.StaticBranches, rows[i].sites, paperStatic[prof.Name],
 			100*s.TakenRate())
 	}
 	t.AddNote("paper dynamic counts are x1000 branches per 100M instructions, shown as br/KI")
@@ -92,24 +106,33 @@ func runTable3(cfg Config) (*report.Table, error) {
 	}
 	t := report.New("Table 3: Ratio lghist/ghist",
 		"benchmark", "branches per lghist bit (meas)", "paper")
-	for _, prof := range cfg.Benchmarks {
-		g, err := workload.New(prof, cfg.Instructions)
-		if err != nil {
-			return nil, err
-		}
-		tr := frontend.NewTracker(frontend.ModeEV8())
-		for {
-			b, ok := g.Next()
-			if !ok {
-				break
+	fns := make([]func() (float64, error), len(cfg.Benchmarks))
+	for i, prof := range cfg.Benchmarks {
+		fns[i] = func() (float64, error) {
+			g, err := workload.New(prof, cfg.Instructions)
+			if err != nil {
+				return 0, err
 			}
-			tr.Process(b)
+			tr := frontend.NewTracker(frontend.ModeEV8())
+			for {
+				b, ok := g.Next()
+				if !ok {
+					break
+				}
+				tr.Process(b)
+			}
+			if tr.LghistBits() == 0 {
+				return 0, nil
+			}
+			return float64(tr.CondBranches()) / float64(tr.LghistBits()), nil
 		}
-		ratio := 0.0
-		if tr.LghistBits() > 0 {
-			ratio = float64(tr.CondBranches()) / float64(tr.LghistBits())
-		}
-		t.AddRowf(prof.Name, ratio, paper[prof.Name])
+	}
+	ratios, err := jobs(cfg, fns)
+	if err != nil {
+		return nil, err
+	}
+	for i, prof := range cfg.Benchmarks {
+		t.AddRowf(prof.Name, ratios[i], paper[prof.Name])
 	}
 	return t, nil
 }

@@ -1,0 +1,196 @@
+// Parallel execution layer: a bounded worker pool that fans independent
+// simulation cells — one (predictor factory, benchmark profile) pair per
+// cell — out across the CPUs and reassembles the results in input order,
+// so parallel output is byte-identical to serial output.
+//
+// The unit of parallelism is always a whole simulated stream. One cell is
+// one cold predictor over one deterministic workload, so cells share no
+// mutable state; within a cell, instruction order is architectural state
+// and is never reordered (see DESIGN.md). Every suite-level driver
+// (RunSuite, the sweep harness, the experiment generators) routes through
+// RunCells; Workers == 1 forces the serial path for debugging.
+package sim
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"ev8pred/internal/workload"
+)
+
+// DefaultWorkers is the worker count used when Workers is 0: one worker
+// per available CPU.
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// CellDone describes one completed cell of a suite-level run.
+type CellDone struct {
+	// Index is the cell's position in input order.
+	Index int
+	// Done counts completed cells (including this one); Total is the
+	// fan-out size.
+	Done, Total int
+	// Branches and Instructions are the cell's measured totals.
+	Branches     int64
+	Instructions int64
+}
+
+// ProgressFunc observes cell completions. Events arrive in completion
+// order, not input order, and Done is monotone; the pool serializes
+// calls, so implementations need no locking of their own.
+type ProgressFunc func(CellDone)
+
+// PoolOptions configures one fan-out through the pool.
+type PoolOptions struct {
+	// Workers bounds concurrent cells: 0 = one per CPU (DefaultWorkers),
+	// 1 = serial (the debugging path, no extra goroutines), N = at most
+	// N in flight.
+	Workers int
+	// Progress, if non-nil, receives one event per completed cell.
+	Progress ProgressFunc
+}
+
+// Cell is one independent simulation job: a cold predictor from Factory
+// run over Profile under Opts. Suite-level fields of Opts (Workers) are
+// ignored; the enclosing fan-out decides those.
+type Cell struct {
+	Factory Factory
+	Profile workload.Profile
+	Opts    Options
+}
+
+// RunCells simulates every cell with at most pool.Workers in flight and
+// returns the results in cell order. The first error (including a panic
+// inside a cell, converted to an error) cancels the context handed to
+// outstanding jobs and wins; queued cells that have not started are
+// skipped. A nil ctx is treated as context.Background().
+func RunCells(ctx context.Context, cells []Cell, instrBudget int64, pool PoolOptions) ([]Result, error) {
+	var (
+		mu   sync.Mutex
+		done int
+	)
+	jobs := make([]func(context.Context) (Result, error), len(cells))
+	for i, c := range cells {
+		jobs[i] = func(context.Context) (Result, error) {
+			p, err := c.Factory()
+			if err != nil {
+				return Result{}, fmt.Errorf("sim: building predictor for %s: %w", c.Profile.Name, err)
+			}
+			r, err := RunBenchmark(p, c.Profile, instrBudget, c.Opts)
+			if err != nil {
+				return Result{}, err
+			}
+			if pool.Progress != nil {
+				mu.Lock()
+				done++
+				pool.Progress(CellDone{
+					Index: i, Done: done, Total: len(cells),
+					Branches: r.Branches, Instructions: r.Instructions,
+				})
+				mu.Unlock()
+			}
+			return r, nil
+		}
+	}
+	return Parallel(ctx, pool.Workers, jobs)
+}
+
+// SuiteCells builds one cell per profile, all sharing factory and opts —
+// the RunSuite fan-out shape.
+func SuiteCells(factory Factory, profs []workload.Profile, opts Options) []Cell {
+	cells := make([]Cell, len(profs))
+	for i, prof := range profs {
+		cells[i] = Cell{Factory: factory, Profile: prof, Opts: opts}
+	}
+	return cells
+}
+
+// Parallel runs jobs with at most workers goroutines (0 = DefaultWorkers,
+// 1 = serial in the calling goroutine) and returns the results in job
+// order, so output does not depend on scheduling. The first job error
+// cancels the context passed to the remaining jobs and is the error
+// returned; a panic inside a job is converted to an error instead of
+// crashing the process. A nil ctx is treated as context.Background().
+func Parallel[T any](ctx context.Context, workers int, jobs []func(context.Context) (T, error)) ([]T, error) {
+	out := make([]T, len(jobs))
+	if len(jobs) == 0 {
+		return out, nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	if workers == 1 {
+		for i, job := range jobs {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			v, err := runJob(ctx, i, job)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+
+	parent := ctx
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	fail := func(err error) {
+		errOnce.Do(func() {
+			firstErr = err
+			cancel()
+		})
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(jobs) || ctx.Err() != nil {
+					return
+				}
+				v, err := runJob(ctx, i, jobs[i])
+				if err != nil {
+					fail(err)
+					return
+				}
+				out[i] = v
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if err := parent.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// runJob invokes one job, converting a panic into an error so a bad cell
+// fails the fan-out instead of killing the process.
+func runJob[T any](ctx context.Context, i int, job func(context.Context) (T, error)) (v T, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("sim: job %d panicked: %v", i, r)
+		}
+	}()
+	return job(ctx)
+}

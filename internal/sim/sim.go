@@ -9,6 +9,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"ev8pred/internal/frontend"
@@ -30,14 +31,25 @@ type Options struct {
 	// branches, approximating update-at-commit. 0 = immediate update.
 	UpdateDelay int
 	// Warmup excludes the first Warmup conditional branches from the
-	// statistics (they still train the predictor). The paper's runs are
-	// long enough not to need it; short tests use it.
+	// statistics (they still train the predictor). The measured window
+	// opens when the Warmup-th conditional branch retires: a record's
+	// instructions (Gap + the record itself) count toward Instructions
+	// exactly when at least Warmup conditional branches retired before
+	// that record, and the same boundary gates Mispredicts, so numerator
+	// and denominator cover the same window. The paper's runs are long
+	// enough not to need it; short tests use it.
 	Warmup int64
 	// LenientFlow lets the front-end trackers absorb flow
 	// discontinuities instead of panicking. Needed when several threads
 	// are forced through one shared history context (the §3
 	// shared-history SMT model).
 	LenientFlow bool
+	// Workers bounds how many benchmark cells suite-level drivers
+	// (RunSuite, RunCells, the sweep and experiment harnesses) simulate
+	// concurrently: 0 uses one worker per CPU, 1 forces the serial
+	// debugging path. It has no effect on a single Run — parallelism is
+	// across cells, never within one simulated instruction stream.
+	Workers int
 }
 
 // Result summarizes one run.
@@ -121,14 +133,19 @@ func Run(p predictor.Predictor, src trace.Source, opts Options) Result {
 			trackers[b.Thread] = tr
 		}
 		info, isCond := tr.Process(b)
-		if res.Branches >= opts.Warmup {
+		// One gate decides the whole record: it is measured iff the
+		// warmup boundary (retirement of conditional branch #Warmup)
+		// lies before it. For a conditional record this is the same
+		// condition as "this is branch #Warmup+1 or later".
+		measured := res.Branches >= opts.Warmup
+		if measured {
 			res.Instructions += int64(b.Gap) + 1
 		}
 		if !isCond {
 			continue
 		}
 		pred := p.Predict(&info)
-		if res.Branches >= opts.Warmup && pred != b.Taken {
+		if measured && pred != b.Taken {
 			res.Mispredicts++
 		}
 		res.Branches++
@@ -140,8 +157,12 @@ func Run(p predictor.Predictor, src trace.Source, opts Options) Result {
 		}
 	}
 	flush(0)
-	if res.Branches > opts.Warmup {
-		res.Branches -= opts.Warmup
+	// Report only measured branches. The clamp matters when the stream
+	// ends at or before the warmup boundary (res.Branches <= Warmup):
+	// zero branches were measured, and the old `> Warmup` guard left the
+	// raw count in place, over-reporting by up to Warmup at the boundary.
+	if opts.Warmup > 0 {
+		res.Branches -= min(res.Branches, opts.Warmup)
 	}
 	return res
 }
@@ -162,21 +183,13 @@ func RunBenchmark(p predictor.Predictor, prof workload.Profile, instrBudget int6
 // Experiments use factories so that every benchmark starts cold.
 type Factory func() (predictor.Predictor, error)
 
-// RunSuite runs a fresh predictor from factory over every profile.
+// RunSuite runs a fresh predictor from factory over every profile. The
+// benchmark cells run in parallel (bounded by opts.Workers; every cell is
+// a cold predictor over an independent deterministic stream) and the
+// results come back in profile order, identical to a serial run.
 func RunSuite(factory Factory, profs []workload.Profile, instrBudget int64, opts Options) ([]Result, error) {
-	out := make([]Result, 0, len(profs))
-	for _, prof := range profs {
-		p, err := factory()
-		if err != nil {
-			return nil, fmt.Errorf("sim: building predictor for %s: %w", prof.Name, err)
-		}
-		r, err := RunBenchmark(p, prof, instrBudget, opts)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, r)
-	}
-	return out, nil
+	return RunCells(context.Background(), SuiteCells(factory, profs, opts), instrBudget,
+		PoolOptions{Workers: opts.Workers})
 }
 
 // Mean returns the arithmetic mean misp/KI across results (the summary

@@ -71,6 +71,96 @@ func TestRunWarmupExcluded(t *testing.T) {
 	}
 }
 
+// recStep describes one record of a hand-built stream.
+type recStep struct {
+	kind  trace.Kind
+	gap   int
+	taken bool
+}
+
+// mkRecords builds a flow-consistent record list (PC == previous record's
+// NextPC + Gap*InstrBytes, the front-end invariant) from steps.
+func mkRecords(steps []recStep) []trace.Branch {
+	next := uint64(0x4000)
+	out := make([]trace.Branch, 0, len(steps))
+	for _, s := range steps {
+		pc := next + uint64(s.gap)*trace.InstrBytes
+		b := trace.Branch{PC: pc, Gap: s.gap, Kind: s.kind, Taken: s.taken}
+		b.Target = pc + 40*trace.InstrBytes
+		next = b.NextPC()
+		out = append(out, b)
+	}
+	return out
+}
+
+// TestWarmupWindowSemantics pins the warmup contract on a mixed stream of
+// conditional and non-conditional records: the measured window opens when
+// the Warmup-th conditional branch retires, and a record's instructions
+// (Gap + the record itself) are measured exactly when the record lies
+// after that boundary — for conditional AND non-conditional records, so
+// misp/KI numerator and denominator cover the same window.
+func TestWarmupWindowSemantics(t *testing.T) {
+	steps := []recStep{
+		{trace.Cond, 4, true}, // branch #1: warmup, 5 instructions excluded
+		{trace.Jump, 2, true}, // before branch #2 retires: 3 excluded
+		{trace.Cond, 9, true}, // branch #2: warmup, 10 excluded
+		{trace.Jump, 6, true}, // after the boundary: 7 measured
+		{trace.Cond, 0, true}, // branch #3: measured, 1 instruction
+	}
+	p := &probePredictor{} // always predicts not-taken
+	r := Run(p, trace.NewSlice(mkRecords(steps)), Options{Warmup: 2})
+	if r.Branches != 1 {
+		t.Errorf("measured branches = %d, want 1", r.Branches)
+	}
+	if r.Instructions != 8 {
+		t.Errorf("measured instructions = %d, want 8 (the jump record after the boundary plus branch #3)", r.Instructions)
+	}
+	if r.Mispredicts != 1 {
+		t.Errorf("mispredicts = %d, want 1 (only branch #3 is measured)", r.Mispredicts)
+	}
+
+	// Without warmup the same stream counts everything.
+	r = Run(&probePredictor{}, trace.NewSlice(mkRecords(steps)), Options{})
+	if r.Branches != 3 || r.Instructions != 26 || r.Mispredicts != 3 {
+		t.Errorf("no-warmup run = %d branches, %d instructions, %d mispredicts; want 3, 26, 3",
+			r.Branches, r.Instructions, r.Mispredicts)
+	}
+}
+
+// TestWarmupBoundaryShortStreams is the regression for the off-by-one at
+// the warmup boundary: a stream ending at or before the boundary has ZERO
+// measured branches, but the old `> Warmup` guard skipped the final
+// adjustment and reported the raw warmup count.
+func TestWarmupBoundaryShortStreams(t *testing.T) {
+	cases := []struct {
+		name   string
+		conds  int
+		warmup int64
+		want   int64
+	}{
+		{"stream ends exactly at the boundary", 2, 2, 0},
+		{"stream shorter than warmup", 3, 5, 0},
+		{"one measured branch past the boundary", 3, 2, 1},
+		{"warmup zero", 3, 0, 3},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			steps := make([]recStep, c.conds)
+			for i := range steps {
+				steps[i] = recStep{trace.Cond, 3, true}
+			}
+			r := Run(&probePredictor{}, trace.NewSlice(mkRecords(steps)), Options{Warmup: c.warmup})
+			if r.Branches != c.want {
+				t.Errorf("measured branches = %d, want %d", r.Branches, c.want)
+			}
+			if c.want == 0 && (r.Instructions != 0 || r.Mispredicts != 0) {
+				t.Errorf("empty window should report zero stats, got %d instructions, %d mispredicts",
+					r.Instructions, r.Mispredicts)
+			}
+		})
+	}
+}
+
 func TestEmptyResultMetrics(t *testing.T) {
 	var r Result
 	if r.MispKI() != 0 || r.Accuracy() != 0 {

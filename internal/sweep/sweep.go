@@ -7,6 +7,7 @@
 package sweep
 
 import (
+	"context"
 	"fmt"
 
 	"ev8pred/internal/predictor"
@@ -30,19 +31,35 @@ type Point struct {
 
 // Run sweeps the parameter values in xs. Every point runs every benchmark
 // cold (a fresh predictor per benchmark, as in the experiment harness).
+// All (parameter value × benchmark) cells fan out through one bounded
+// pool run (opts.Workers; 1 = serial), and the points come back in xs
+// order with per-benchmark results in profile order, identical to a
+// serial sweep.
 func Run(factory Factory, xs []int, profs []workload.Profile, instrBudget int64, opts sim.Options) ([]Point, error) {
 	if len(xs) == 0 {
 		return nil, fmt.Errorf("sweep: no parameter values")
 	}
-	out := make([]Point, 0, len(xs))
+	cells := make([]sim.Cell, 0, len(xs)*len(profs))
 	for _, x := range xs {
-		rs, err := sim.RunSuite(func() (predictor.Predictor, error) {
-			return factory(x)
-		}, profs, instrBudget, opts)
-		if err != nil {
-			return nil, fmt.Errorf("sweep: x=%d: %w", x, err)
+		mk := func() (predictor.Predictor, error) {
+			p, err := factory(x)
+			if err != nil {
+				return nil, fmt.Errorf("x=%d: %w", x, err)
+			}
+			return p, nil
 		}
-		out = append(out, Point{X: x, Mean: sim.Mean(rs), Results: rs})
+		for _, prof := range profs {
+			cells = append(cells, sim.Cell{Factory: mk, Profile: prof, Opts: opts})
+		}
+	}
+	rs, err := sim.RunCells(context.Background(), cells, instrBudget, sim.PoolOptions{Workers: opts.Workers})
+	if err != nil {
+		return nil, fmt.Errorf("sweep: %w", err)
+	}
+	out := make([]Point, len(xs))
+	for i, x := range xs {
+		seg := rs[i*len(profs) : (i+1)*len(profs) : (i+1)*len(profs)]
+		out[i] = Point{X: x, Mean: sim.Mean(seg), Results: seg}
 	}
 	return out, nil
 }

@@ -81,6 +81,28 @@ func TestLongHistoryBeatsLog2SizeFor2BcGskew(t *testing.T) {
 	}
 }
 
+// TestSweepParallelSerialByteIdentical: the rendered sweep table must be
+// byte-identical whether the (value x benchmark) cells run serially or on
+// a crowded pool.
+func TestSweepParallelSerialByteIdentical(t *testing.T) {
+	render := func(workers int) string {
+		pts, err := Run(func(h int) (predictor.Predictor, error) {
+			return gshare.New(16*1024, h)
+		}, []int{6, 10, 14}, profs(t, "li", "go"), 150_000,
+			sim.Options{Mode: frontend.ModeGhist(), Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return Table("determinism sweep", "histlen", pts).String()
+	}
+	serial := render(1)
+	parallel := render(8)
+	if serial != parallel {
+		t.Errorf("Workers 1 vs 8 sweep tables differ:\n--- serial ---\n%s--- parallel ---\n%s",
+			serial, parallel)
+	}
+}
+
 func TestTableRendering(t *testing.T) {
 	pts, err := Run(func(h int) (predictor.Predictor, error) {
 		return gshare.New(4096, h)
