@@ -3,18 +3,21 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench check report fuzz examples clean
+.PHONY: all build vet test race bench bench-baseline check report fuzz examples clean
 
 all: build vet test
 
 # The full gate CI runs: static checks, build, the test suite under the
-# race detector, and a one-iteration benchmark smoke so the testing.B
-# harness cannot rot.
+# race detector, the hot-path zero-allocation gate (without -race, where
+# allocation accounting is exact), and benchmark smokes so neither the
+# testing.B harness nor the per-predictor microbenchmarks can rot.
 check:
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test -race ./...
+	$(GO) test -run TestHotPathZeroAllocs -count=1 .
 	$(GO) test -bench=Table1 -benchtime=1x -run '^$$' .
+	$(GO) test -bench=PredictUpdate -benchtime=100x -run '^$$' .
 
 build:
 	$(GO) build ./...
@@ -32,6 +35,12 @@ race:
 # throughput; -benchmem reports allocation behavior.
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Refresh the machine-readable hot-path throughput snapshot (per-predictor
+# branches/sec and allocs/branch, plus the end-to-end Table 1 EV8 loop);
+# see docs/PERFORMANCE.md for how the numbers are defined and compared.
+bench-baseline:
+	$(GO) run ./cmd/benchbaseline -o BENCH_baseline.json
 
 # Regenerate every table and figure of the paper (10M instructions per
 # benchmark; the paper's full scale is -instructions 100000000).

@@ -1,0 +1,208 @@
+// Command benchbaseline measures hot-path predictor throughput and writes
+// the machine-readable baseline snapshot BENCH_baseline.json that the
+// performance documentation and regression comparisons key off.
+//
+// Usage:
+//
+//	benchbaseline [-o BENCH_baseline.json] [-branches N] [-events N]
+//
+// Two kinds of numbers are recorded:
+//
+//   - predictors: per-branch predict+update cost for every entry of the
+//     internal/hotbench roster, replaying prerecorded gcc events through
+//     the same fused path sim.Run uses (the workload generator and front
+//     end are out of the measured loop).
+//
+//   - end_to_end: the full sim.Run loop for the Table 1 EV8 configuration
+//     (generator + front end + predictor), the number the repository's
+//     BenchmarkTable1EV8Throughput reports, with its speedup against the
+//     frozen pre-optimization reference.
+//
+// `make bench-baseline` regenerates the committed snapshot.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"ev8pred/internal/ev8"
+	"ev8pred/internal/frontend"
+	"ev8pred/internal/hotbench"
+	"ev8pred/internal/sim"
+	"ev8pred/internal/workload"
+)
+
+// reference freezes the pre-optimization numbers (the PR-1 tree) for
+// BenchmarkTable1EV8Throughput on the CI container, so every later run can
+// report its speedup against the same anchor.
+const (
+	refTable1NsPerBranch     = 1205.0
+	refTable1AllocsPerBranch = 9.0
+)
+
+// metric is one measured configuration.
+type metric struct {
+	NsPerBranch        float64 `json:"ns_per_branch"`
+	BranchesPerSec     float64 `json:"branches_per_sec"`
+	AllocsPerBranch    float64 `json:"allocs_per_branch"`
+	SpeedupVsReference float64 `json:"speedup_vs_reference,omitempty"`
+}
+
+// baseline is the BENCH_baseline.json document.
+type baseline struct {
+	Schema          int    `json:"schema"`
+	GoVersion       string `json:"go_version"`
+	GOOS            string `json:"goos"`
+	GOARCH          string `json:"goarch"`
+	BranchesPerCase int64  `json:"branches_per_case"`
+	Reference       struct {
+		Description          string  `json:"description"`
+		Table1NsPerBranch    float64 `json:"table1_ev8_ns_per_branch"`
+		Table1AllocsPerBrnch float64 `json:"table1_ev8_allocs_per_branch"`
+	} `json:"reference"`
+	EndToEnd   map[string]metric `json:"end_to_end"`
+	Predictors map[string]metric `json:"predictors"`
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchbaseline:", err)
+		os.Exit(1)
+	}
+}
+
+// run executes the tool; the report goes to out unless -o names a file.
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("benchbaseline", flag.ContinueOnError)
+	var (
+		outPath  = fs.String("o", "", "write the JSON snapshot to this file instead of stdout")
+		branches = fs.Int64("branches", 1_000_000, "branches per measured configuration")
+		events   = fs.Int("events", 4096, "prerecorded events in the replay window")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *branches <= 0 || *events <= 0 {
+		return fmt.Errorf("-branches and -events must be positive")
+	}
+
+	doc := baseline{
+		Schema:          1,
+		GoVersion:       runtime.Version(),
+		GOOS:            runtime.GOOS,
+		GOARCH:          runtime.GOARCH,
+		BranchesPerCase: *branches,
+		EndToEnd:        map[string]metric{},
+		Predictors:      map[string]metric{},
+	}
+	doc.Reference.Description = "BenchmarkTable1EV8Throughput before the fused hot path (per-branch index recomputation, allocating)"
+	doc.Reference.Table1NsPerBranch = refTable1NsPerBranch
+	doc.Reference.Table1AllocsPerBrnch = refTable1AllocsPerBranch
+
+	for _, c := range hotbench.Cases() {
+		evs, err := hotbench.Collect(c.Mode, "gcc", *events)
+		if err != nil {
+			return err
+		}
+		p, err := c.New()
+		if err != nil {
+			return err
+		}
+		m := measure(*branches, func(n int64) {
+			for done := int64(0); done < n; done += int64(len(evs)) {
+				hotbench.Replay(p, evs)
+			}
+		})
+		doc.Predictors[c.Name] = m
+	}
+
+	e2e, err := measureEndToEnd(*branches)
+	if err != nil {
+		return err
+	}
+	e2e.SpeedupVsReference = refTable1NsPerBranch / e2e.NsPerBranch
+	doc.EndToEnd["table1_ev8"] = e2e
+
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if *outPath != "" {
+		return os.WriteFile(*outPath, data, 0o644)
+	}
+	_, err = out.Write(data)
+	return err
+}
+
+// measure times fn(branches) and converts to per-branch metrics; the
+// allocation count comes from the runtime's exact mallocs counter.
+func measure(branches int64, fn func(n int64)) metric {
+	fn(min64(branches, 1<<14)) // warm caches and any lazy initialization
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	fn(branches)
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	ns := float64(elapsed.Nanoseconds()) / float64(branches)
+	return metric{
+		NsPerBranch:     ns,
+		BranchesPerSec:  1e9 / ns,
+		AllocsPerBranch: float64(after.Mallocs-before.Mallocs) / float64(branches),
+	}
+}
+
+// measureEndToEnd times the full sim.Run loop for the Table 1 EV8
+// configuration over the gcc workload, the repository's headline number.
+func measureEndToEnd(branches int64) (metric, error) {
+	prof, err := workload.ByName("gcc")
+	if err != nil {
+		return metric{}, err
+	}
+	mk := func() (sim.Options, *ev8.Predictor, *workload.Generator, error) {
+		p, err := ev8.New(ev8.DefaultConfig())
+		if err != nil {
+			return sim.Options{}, nil, nil, err
+		}
+		src, err := workload.New(prof, 0)
+		return sim.Options{Mode: frontend.ModeEV8(), MaxBranches: branches}, p, src, err
+	}
+	// Warm run (also validates the configuration end to end).
+	opts, p, src, err := mk()
+	if err != nil {
+		return metric{}, err
+	}
+	opts.MaxBranches = min64(branches, 1<<14)
+	if r := sim.Run(p, src, opts); r.Branches == 0 {
+		return metric{}, fmt.Errorf("degenerate end-to-end run: %+v", r)
+	}
+	opts, p, src, err = mk()
+	if err != nil {
+		return metric{}, err
+	}
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	sim.Run(p, src, opts)
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	ns := float64(elapsed.Nanoseconds()) / float64(branches)
+	return metric{
+		NsPerBranch:     ns,
+		BranchesPerSec:  1e9 / ns,
+		AllocsPerBranch: float64(after.Mallocs-before.Mallocs) / float64(branches),
+	}, nil
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,74 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRunWritesBaseline runs a scaled-down measurement and validates the
+// JSON document shape and invariants (every roster entry present, sane
+// positive rates, zero allocations on the gated predictors' replay path).
+func TestRunWritesBaseline(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	var sb strings.Builder
+	if err := run([]string{"-o", path, "-branches", "30000", "-events", "1024"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if sb.Len() != 0 {
+		t.Error("-o should redirect output away from stdout")
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc baseline
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if doc.Schema != 1 {
+		t.Errorf("schema = %d, want 1", doc.Schema)
+	}
+	for _, name := range []string{"ev8", "2bcg-512K", "2bcg-ev8size", "egskew", "gshare-2M", "bimodal"} {
+		m, ok := doc.Predictors[name]
+		if !ok {
+			t.Errorf("missing predictor %q", name)
+			continue
+		}
+		if m.NsPerBranch <= 0 || m.BranchesPerSec <= 0 {
+			t.Errorf("%s: non-positive rate: %+v", name, m)
+		}
+	}
+	for _, name := range []string{"ev8", "2bcg-512K", "2bcg-ev8size"} {
+		// The replay path must be allocation-free; the tolerance absorbs
+		// stray runtime allocations (GC bookkeeping) on a small run.
+		if m := doc.Predictors[name]; m.AllocsPerBranch > 0.01 {
+			t.Errorf("%s: %.4f allocs/branch on the replay path, want ~0", name, m.AllocsPerBranch)
+		}
+	}
+	e2e, ok := doc.EndToEnd["table1_ev8"]
+	if !ok {
+		t.Fatal("missing end_to_end.table1_ev8")
+	}
+	if e2e.NsPerBranch <= 0 || e2e.SpeedupVsReference <= 0 {
+		t.Errorf("end-to-end metric not positive: %+v", e2e)
+	}
+	if doc.Reference.Table1NsPerBranch != refTable1NsPerBranch {
+		t.Errorf("reference anchor drifted: %v", doc.Reference)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-branches", "0"}, &sb); err == nil {
+		t.Error("zero -branches accepted")
+	}
+	if err := run([]string{"-events", "-1"}, &sb); err == nil {
+		t.Error("negative -events accepted")
+	}
+	if err := run([]string{"-badflag"}, &sb); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

@@ -5,7 +5,7 @@
 //
 //	ev8bench [-experiment all|table1|table2|fig5|...|ablations|perf|smt|backup]
 //	         [-instructions N] [-benchmarks gcc,go,...] [-o report.txt]
-//	         [-j workers] [-v]
+//	         [-j workers] [-v] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // The default regenerates everything over 10M synthetic instructions per
 // benchmark (the paper uses 100M; pass -instructions 100000000 for the
@@ -20,6 +20,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"sync"
 	"time"
@@ -88,9 +90,42 @@ func run(args []string, out, errw io.Writer) error {
 		outPath      = fs.String("o", "", "write the report to this file instead of stdout")
 		workers      = fs.Int("j", 0, "parallel simulation cells (0 = one per CPU, 1 = serial)")
 		verbose      = fs.Bool("v", false, "print a progress/throughput counter to stderr")
+		cpuProfile   = fs.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
+		memProfile   = fs.String("memprofile", "", "write an allocation profile to this file at exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			if cerr := f.Close(); cerr != nil {
+				fmt.Fprintln(os.Stderr, "ev8bench: closing cpu profile:", cerr)
+			}
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "ev8bench: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // flush the final allocation statistics
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintln(os.Stderr, "ev8bench: memprofile:", err)
+			}
+		}()
 	}
 
 	cfg := experiments.Config{Instructions: *instructions, Workers: *workers}

@@ -104,6 +104,35 @@ func TestRunWorkersIdenticalReport(t *testing.T) {
 	}
 }
 
+// TestRunProfiles exercises -cpuprofile/-memprofile: both files must exist
+// and be non-empty (pprof profiles are gzipped protobufs, so content checks
+// stop at "non-trivial bytes").
+func TestRunProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	var sb, eb strings.Builder
+	err := run([]string{
+		"-experiment", "table2", "-benchmarks", "li", "-instructions", "100000",
+		"-cpuprofile", cpu, "-memprofile", mem,
+	}, &sb, &eb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{cpu, mem} {
+		fi, err := os.Stat(path)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if fi.Size() == 0 {
+			t.Errorf("%s: empty profile", path)
+		}
+	}
+	if err := run([]string{"-experiment", "table1", "-cpuprofile", filepath.Join(dir, "no", "such", "dir.pprof")}, &sb, &eb); err == nil {
+		t.Error("unwritable cpuprofile path accepted")
+	}
+}
+
 func TestRunVerboseProgress(t *testing.T) {
 	var sb, eb strings.Builder
 	err := run([]string{

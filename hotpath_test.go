@@ -1,0 +1,88 @@
+package ev8pred_test
+
+// Hot-path performance gates: per-predictor predict+update microbenchmarks
+// over prerecorded events (the workload generator and front end are out of
+// the measured loop), and a hard zero-allocation gate for the paper's hot
+// predictors. cmd/benchbaseline runs the same roster programmatically to
+// write BENCH_baseline.json.
+
+import (
+	"testing"
+
+	"ev8pred/internal/hotbench"
+	"ev8pred/internal/predictor"
+)
+
+const hotEvents = 4096
+
+// TestHotPathZeroAllocs asserts that a steady-state branch allocates
+// nothing — on the fused Lookup/UpdateWith path and on the plain
+// Predict/Update fallback — for every gated predictor (EV8 and the
+// 2Bc-gskew presets). A single heap escape on this path costs more than
+// the prediction itself; this is the acceptance gate that keeps it out.
+func TestHotPathZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation accounting is not meaningful under the race detector")
+	}
+	for _, c := range hotbench.Cases() {
+		if !c.Gated {
+			continue
+		}
+		events, err := hotbench.Collect(c.Mode, "gcc", hotEvents)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Run(c.Name, func(t *testing.T) {
+			p, err := c.New()
+			if err != nil {
+				t.Fatal(err)
+			}
+			fp, ok := p.(predictor.FusedPredictor)
+			if !ok {
+				t.Fatalf("%s: gated predictor does not implement FusedPredictor", c.Name)
+			}
+			// Warm once so any lazy one-time work is done before counting.
+			hotbench.ReplayFused(fp, events)
+			if allocs := testing.AllocsPerRun(3, func() {
+				hotbench.ReplayFused(fp, events)
+			}); allocs != 0 {
+				t.Errorf("%s fused path: %.1f allocs per %d branches, want 0",
+					c.Name, allocs, len(events))
+			}
+			if allocs := testing.AllocsPerRun(3, func() {
+				hotbench.ReplayUnfused(p, events)
+			}); allocs != 0 {
+				t.Errorf("%s unfused path: %.1f allocs per %d branches, want 0",
+					c.Name, allocs, len(events))
+			}
+		})
+	}
+}
+
+// BenchmarkPredictUpdate measures raw per-branch predictor cost: one
+// sub-benchmark per roster entry, replaying prerecorded gcc events through
+// the same code path sim.Run uses (fused when available). ns/op is per
+// branch; compare against BENCH_baseline.json.
+func BenchmarkPredictUpdate(b *testing.B) {
+	for _, c := range hotbench.Cases() {
+		events, err := hotbench.Collect(c.Mode, "gcc", hotEvents)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(c.Name, func(b *testing.B) {
+			p, err := c.New()
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for done := 0; done < b.N; done += len(events) {
+				n := len(events)
+				if rem := b.N - done; rem < n {
+					n = rem
+				}
+				hotbench.Replay(p, events[:n])
+			}
+		})
+	}
+}

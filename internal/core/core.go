@@ -139,51 +139,61 @@ func MustNew(cfg Config) *Predictor {
 	return p
 }
 
+// indexParams holds the per-bank constants of the default index functions
+// in fixed arrays. Keeping them in a struct (rather than closure captures)
+// and ranging the skewed banks with a plain counted loop keeps the
+// per-branch path free of slice literals and heap allocation — the index
+// computation is the innermost loop of every simulation.
+type indexParams struct {
+	bits    [NumBanks]int
+	histLen [NumBanks]int
+	fns     [NumBanks]*skew.Func // G0..Meta; BIM is unskewed
+	bimMask uint64
+	usePath bool
+}
+
+// index computes the four bank indices for an information vector.
+func (ip *indexParams) index(info *history.Info) [NumBanks]uint64 {
+	var pathHash uint64
+	if ip.usePath {
+		// A few bits from each of the three previous block
+		// addresses, as §5.2 uses them: cheap, fixed extraction.
+		pathHash = bitutil.Field(info.Path[0], 5, 4) ^
+			bitutil.Field(info.Path[1], 5, 4)<<2 ^
+			bitutil.Field(info.Path[2], 5, 4)<<4
+	}
+	var idx [NumBanks]uint64
+	idx[BIM] = predictor.PCBits(info.PC, ip.bits[BIM])
+	if ip.histLen[BIM] > 0 {
+		idx[BIM] ^= bitutil.FoldXOR(info.Hist, ip.histLen[BIM], ip.bits[BIM])
+	}
+	if ip.usePath {
+		idx[BIM] ^= pathHash & ip.bimMask
+	}
+	for b := G0; b <= Meta; b++ {
+		v := predictor.PCBits(info.PC, ip.bits[b]) |
+			predictor.HistMask(info.Hist, ip.histLen[b])<<uint(ip.bits[b])
+		v ^= pathHash << uint(ip.bits[b]/2)
+		idx[b] = ip.fns[b].Index(v, ip.bits[b]+ip.histLen[b])
+	}
+	return idx
+}
+
 // DefaultIndexSet builds the unconstrained index functions used everywhere
 // in §8 except §8.5: BIM indexed by address (XORed with its folded history
 // when a BIM history length is configured), and G0/G1/Meta indexed by three
 // distinct skewing functions of (address, per-bank-truncated history).
 func DefaultIndexSet(cfg Config) IndexSet {
-	var bits [NumBanks]int
+	ip := &indexParams{usePath: cfg.UsePath}
 	for b := BIM; b < NumBanks; b++ {
-		bits[b] = bitutil.Log2(uint64(cfg.Banks[b].Entries))
+		ip.bits[b] = bitutil.Log2(uint64(cfg.Banks[b].Entries))
+		ip.histLen[b] = cfg.Banks[b].HistLen
 	}
-	fns := [NumBanks]*skew.Func{}
-	for i, b := range []Bank{G0, G1, Meta} {
-		fns[b] = skew.MustFamily(bits[b], 3)[i]
+	for b := G0; b <= Meta; b++ {
+		ip.fns[b] = skew.MustFamily(ip.bits[b], 3)[int(b-G0)]
 	}
-	hist := [NumBanks]int{
-		BIM:  cfg.Banks[BIM].HistLen,
-		G0:   cfg.Banks[G0].HistLen,
-		G1:   cfg.Banks[G1].HistLen,
-		Meta: cfg.Banks[Meta].HistLen,
-	}
-	usePath := cfg.UsePath
-	return func(info *history.Info) [NumBanks]uint64 {
-		var pathHash uint64
-		if usePath {
-			// A few bits from each of the three previous block
-			// addresses, as §5.2 uses them: cheap, fixed extraction.
-			pathHash = bitutil.Field(info.Path[0], 5, 4) ^
-				bitutil.Field(info.Path[1], 5, 4)<<2 ^
-				bitutil.Field(info.Path[2], 5, 4)<<4
-		}
-		var idx [NumBanks]uint64
-		idx[BIM] = predictor.PCBits(info.PC, bits[BIM])
-		if hist[BIM] > 0 {
-			idx[BIM] ^= bitutil.FoldXOR(info.Hist, hist[BIM], bits[BIM])
-		}
-		if usePath {
-			idx[BIM] ^= pathHash & bitutil.Mask(bits[BIM])
-		}
-		for _, b := range []Bank{G0, G1, Meta} {
-			v := predictor.PCBits(info.PC, bits[b]) |
-				predictor.HistMask(info.Hist, hist[b])<<uint(bits[b])
-			v ^= pathHash << uint(bits[b]/2)
-			idx[b] = fns[b].Index(v, bits[b]+hist[b])
-		}
-		return idx
-	}
+	ip.bimMask = bitutil.Mask(ip.bits[BIM])
+	return ip.index
 }
 
 // lookup reads the four prediction bits for the computed indices.
@@ -194,20 +204,37 @@ func (p *Predictor) lookup(idx [NumBanks]uint64) (pbim, p0, p1, pmeta bool) {
 		p.banks[Meta].Pred(idx[Meta])
 }
 
+// b2i is the branch predictor's favorite function.
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
 // combine applies the 2Bc-gskew combination: Meta taken selects the
 // e-gskew majority vote, Meta not-taken selects the bimodal prediction.
 func combine(pbim, p0, p1, pmeta bool) (final, egskew bool) {
-	votes := 0
-	for _, v := range []bool{pbim, p0, p1} {
-		if v {
-			votes++
-		}
-	}
-	egskew = votes >= 2
+	egskew = b2i(pbim)+b2i(p0)+b2i(p1) >= 2
 	if pmeta {
 		return egskew, egskew
 	}
 	return pbim, egskew
+}
+
+// Lookup implements predictor.FusedPredictor: the whole per-branch read
+// side — index computation, the four bank reads, and both combination
+// verdicts — evaluated once and packaged for update time.
+func (p *Predictor) Lookup(info *history.Info) predictor.Snapshot {
+	idx := p.cfg.Indexes(info)
+	pbim, p0, p1, pmeta := p.lookup(idx)
+	final, egskew := combine(pbim, p0, p1, pmeta)
+	return predictor.Snapshot{
+		Idx:   idx,
+		Preds: uint8(b2i(pbim)) | uint8(b2i(p0))<<uint(G0) | uint8(b2i(p1))<<uint(G1) | uint8(b2i(pmeta))<<uint(Meta),
+		Final: final,
+		Aux:   egskew,
+	}
 }
 
 // Predict implements predictor.Predictor.
@@ -227,7 +254,21 @@ func (p *Predictor) Components(info *history.Info) (pbim, p0, p1, pmeta, final b
 
 // Update implements predictor.Predictor with the §4.2 update policy.
 func (p *Predictor) Update(info *history.Info, taken bool) {
-	idx := p.cfg.Indexes(info)
+	p.updateAt(p.cfg.Indexes(info), taken)
+}
+
+// UpdateWith implements predictor.FusedPredictor: the carried indices are
+// reused — the skew hashes and history folds are never re-derived — while
+// the direction bits are re-read from the banks (four bit-array reads).
+// Re-reading keeps the update policy's view of the counters identical to
+// the unfused path under commit delay, where an aliased entry may have
+// been trained by another branch between fetch and retirement.
+func (p *Predictor) UpdateWith(s predictor.Snapshot, taken bool) {
+	p.updateAt(s.Idx, taken)
+}
+
+// updateAt applies the configured update policy at the given indices.
+func (p *Predictor) updateAt(idx [NumBanks]uint64, taken bool) {
 	pbim, p0, p1, pmeta := p.lookup(idx)
 	final, egskew := combine(pbim, p0, p1, pmeta)
 
@@ -381,3 +422,4 @@ func (p *Predictor) Reset() {
 }
 
 var _ predictor.Predictor = (*Predictor)(nil)
+var _ predictor.FusedPredictor = (*Predictor)(nil)

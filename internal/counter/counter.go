@@ -37,7 +37,12 @@ const (
 type Array struct {
 	words   []uint64
 	entries uint64
+	initVal uint8
 }
+
+// fillUnit has bit 0 of every 2-bit counter lane set; multiplying by a
+// counter value v in 0..3 replicates v into all 32 lanes without carries.
+const fillUnit = 0x5555555555555555
 
 // NewArray returns an Array of n counters, all initialized to init
 // (one of the State constants). n must be positive.
@@ -45,7 +50,7 @@ func NewArray(n int, init uint8) *Array {
 	if n <= 0 {
 		panic(fmt.Sprintf("counter: NewArray with n=%d", n))
 	}
-	a := &Array{words: make([]uint64, (n+31)/32), entries: uint64(n)}
+	a := &Array{words: make([]uint64, (n+31)/32), entries: uint64(n), initVal: init & 3}
 	if init != 0 {
 		a.Fill(init)
 	}
@@ -57,15 +62,16 @@ func (a *Array) Len() int { return int(a.entries) }
 
 // Fill sets every counter to v.
 func (a *Array) Fill(v uint8) {
-	v &= 3
-	var w uint64
-	for i := 0; i < 32; i++ {
-		w = w<<2 | uint64(v)
-	}
+	w := uint64(v&3) * fillUnit
 	for i := range a.words {
 		a.words[i] = w
 	}
 }
+
+// Reset restores every counter to the value the array was constructed
+// with, mirroring Split.Reset, so baseline predictors can be reused
+// without reallocating their tables.
+func (a *Array) Reset() { a.Fill(a.initVal) }
 
 // Get returns counter i (0..3).
 func (a *Array) Get(i uint64) uint8 {

@@ -31,9 +31,10 @@ func DefaultConfig() Config {
 // to mirror the hardware exactly, wants to observe every completed fetch
 // block via ObserveBlock (package sim wires this automatically).
 type Predictor struct {
-	core *core.Predictor
-	seq  bankSequencer
-	name string
+	core    *core.Predictor
+	seq     bankSequencer
+	pending snapRing
+	name    string
 
 	// bank-scheduling statistics for the §6 conflict-freedom checks
 	blocksSeen    int64
@@ -134,11 +135,43 @@ func (p *Predictor) BlocksObserved() int64 { return p.blocksSeen }
 // BankUse returns per-bank access counts (for the §7.2 uniformity checks).
 func (p *Predictor) BankUse() [NumPredictorBanks]int64 { return p.bankUse }
 
-// Predict implements predictor.Predictor.
-func (p *Predictor) Predict(info *history.Info) bool { return p.core.Predict(info) }
+// Lookup implements predictor.FusedPredictor: the full index set is
+// computed once, against the bank sequencer's state at prediction time —
+// exactly when the hardware computes it (§6).
+func (p *Predictor) Lookup(info *history.Info) predictor.Snapshot {
+	return p.core.Lookup(info)
+}
 
-// Update implements predictor.Predictor.
-func (p *Predictor) Update(info *history.Info, taken bool) { p.core.Update(info, taken) }
+// UpdateWith implements predictor.FusedPredictor: training happens on the
+// entries the prediction actually read, however long ago that was.
+func (p *Predictor) UpdateWith(s predictor.Snapshot, taken bool) {
+	p.core.UpdateWith(s, taken)
+}
+
+// Predict implements predictor.Predictor. The computed snapshot is also
+// remembered (keyed by the information vector) so that a later unfused
+// Update trains the entries this prediction read: the EV8 index functions
+// depend on the bank sequencer, which keeps advancing between prediction
+// and a commit-delayed update, so re-evaluating them at update time would
+// train different rows than were predicted from. The hardware carries the
+// fetch-time indices with the branch (§6); so does this model.
+func (p *Predictor) Predict(info *history.Info) bool {
+	s := p.core.Lookup(info)
+	p.pending.push(info, s)
+	return s.Final
+}
+
+// Update implements predictor.Predictor. If the branch's prediction-time
+// snapshot is still pending it is consumed; otherwise (update without a
+// preceding Predict, or more predictions in flight than the ring holds)
+// the index set is re-evaluated at update time, as before.
+func (p *Predictor) Update(info *history.Info, taken bool) {
+	if s, ok := p.pending.take(info); ok {
+		p.core.UpdateWith(s, taken)
+		return
+	}
+	p.core.Update(info, taken)
+}
 
 // Components exposes the per-bank predictions (tests, ablations).
 func (p *Predictor) Components(info *history.Info) (pbim, p0, p1, pmeta, final bool) {
@@ -161,6 +194,7 @@ func (p *Predictor) HysteresisBits() int { return p.core.HysteresisBits() }
 func (p *Predictor) Reset() {
 	p.core.Reset()
 	p.seq.reset()
+	p.pending.reset()
 	p.blocksSeen, p.bankConflicts = 0, 0
 	p.lastBank = -1
 	p.lastAddr = 0
@@ -170,3 +204,57 @@ func (p *Predictor) Reset() {
 }
 
 var _ predictor.Predictor = (*Predictor)(nil)
+var _ predictor.FusedPredictor = (*Predictor)(nil)
+
+// snapRingDepth bounds how many prediction-time snapshots can be in
+// flight between Predict and its matching unfused Update. 64 comfortably
+// covers the commit-delay windows the experiments use (8 and 64 branches);
+// overflow degrades gracefully to update-time re-evaluation.
+const snapRingDepth = 64
+
+// snapEntry pairs a prediction-time snapshot with the information vector
+// it was computed for.
+type snapEntry struct {
+	info history.Info
+	snap predictor.Snapshot
+}
+
+// snapRing is a FIFO of in-flight prediction snapshots. Updates arrive in
+// prediction order (the simulator's commit-delay queue preserves it), so a
+// take scans from the oldest entry; entries older than a match belong to
+// predictions that will never be updated and are discarded with it.
+type snapRing struct {
+	buf  [snapRingDepth]snapEntry
+	tail int // oldest entry
+	n    int // live entries
+}
+
+// push records a prediction-time snapshot, evicting the oldest in-flight
+// entry when full.
+func (r *snapRing) push(info *history.Info, s predictor.Snapshot) {
+	if r.n == snapRingDepth {
+		r.tail = (r.tail + 1) % snapRingDepth
+		r.n--
+	}
+	r.buf[(r.tail+r.n)%snapRingDepth] = snapEntry{info: *info, snap: s}
+	r.n++
+}
+
+// take finds and consumes the oldest pending snapshot for info.
+func (r *snapRing) take(info *history.Info) (predictor.Snapshot, bool) {
+	for i := 0; i < r.n; i++ {
+		e := &r.buf[(r.tail+i)%snapRingDepth]
+		if e.info == *info {
+			s := e.snap
+			r.tail = (r.tail + i + 1) % snapRingDepth
+			r.n -= i + 1
+			return s, true
+		}
+	}
+	return predictor.Snapshot{}, false
+}
+
+// reset empties the ring.
+func (r *snapRing) reset() {
+	r.tail, r.n = 0, 0
+}

@@ -191,12 +191,11 @@ func TestColumnBitsUseTwoInputXOR(t *testing.T) {
 
 func TestWordlineIsUnhashed(t *testing.T) {
 	// Wordline bits must be direct extractions: (h3..h0, a8, a7).
-	info := &history.Info{PC: 0b1_1000_0000, Hist: 0b1010}
 	// a7=1, a8=1, h0=0,h1=1,h2=0,h3=1 -> (i10..i5) = 101011.
-	if got := wordlineEV8(info); got != 0b101011 {
+	if got := wordlineEV8(0b1_1000_0000, 0b1010); got != 0b101011 {
 		t.Errorf("wordline = %#b, want 101011", got)
 	}
-	if got := wordlineAddrOnly(&history.Info{PC: 0b1_1111_1000_0000}); got != 0b111111 {
+	if got := wordlineAddrOnly(0b1_1111_1000_0000); got != 0b111111 {
 		t.Errorf("addr wordline = %#b", got)
 	}
 }

@@ -44,15 +44,19 @@ type xorTree struct {
 	yMask uint64
 }
 
-// eval computes the bit for an information vector.
-func (x xorTree) eval(info *history.Info) uint64 {
-	v := bitutil.ParityMasked(info.PC, x.aMask) ^
-		bitutil.ParityMasked(info.Hist, x.hMask)
+// eval computes the bit from the information-vector components: the branch
+// PC, the (per-table masked) history, and the previous-block addresses Z
+// and Y. Scalar parameters keep the per-branch path allocation-free — a
+// *history.Info passed through here used to escape to the heap four times
+// per index-set evaluation.
+func (x xorTree) eval(pc, hist, z, y uint64) uint64 {
+	v := bitutil.ParityMasked(pc, x.aMask) ^
+		bitutil.ParityMasked(hist, x.hMask)
 	if x.zMask != 0 {
-		v ^= bitutil.ParityMasked(info.Path[0], x.zMask)
+		v ^= bitutil.ParityMasked(z, x.zMask)
 	}
 	if x.yMask != 0 {
-		v ^= bitutil.ParityMasked(info.Path[1], x.yMask)
+		v ^= bitutil.ParityMasked(y, x.yMask)
 	}
 	return v
 }
@@ -74,15 +78,17 @@ type tableIndex struct {
 
 // evalIndex assembles the table index from bank, unshuffle, wordline and
 // column fields.
-func (t *tableIndex) evalIndex(info *history.Info, bank uint8, wordline uint64) uint64 {
+func (t *tableIndex) evalIndex(pc, hist, z, y uint64, bank uint8, wordline uint64) uint64 {
 	idx := uint64(bank & 3)
 	// Unshuffle: (i4,i3,i2).
-	off := t.unshuffle[0].eval(info)<<2 | t.unshuffle[1].eval(info)<<1 | t.unshuffle[2].eval(info)
+	off := t.unshuffle[0].eval(pc, hist, z, y)<<2 |
+		t.unshuffle[1].eval(pc, hist, z, y)<<1 |
+		t.unshuffle[2].eval(pc, hist, z, y)
 	idx |= off << 2
 	idx |= wordline << 5
 	col := uint64(0)
 	for _, x := range t.column {
-		col = col<<1 | x.eval(info)
+		col = col<<1 | x.eval(pc, hist, z, y)
 	}
 	idx |= col << 11
 	return idx
@@ -91,14 +97,14 @@ func (t *tableIndex) evalIndex(info *history.Info, bank uint8, wordline uint64) 
 // wordlineEV8 computes the shared unhashed wordline (i10..i5) =
 // (h3,h2,h1,h0,a8,a7) (§7.3). The bits cannot be hashed: decode is on the
 // critical path.
-func wordlineEV8(info *history.Info) uint64 {
-	return bitutil.Field(info.PC, 7, 2) | bitutil.Field(info.Hist, 0, 4)<<2
+func wordlineEV8(pc, hist uint64) uint64 {
+	return bitutil.Field(pc, 7, 2) | bitutil.Field(hist, 0, 4)<<2
 }
 
 // wordlineAddrOnly is the Figure 9 "address only" variant: six unhashed PC
 // bits (a12..a7).
-func wordlineAddrOnly(info *history.Info) uint64 {
-	return bitutil.Field(info.PC, 7, 6)
+func wordlineAddrOnly(pc uint64) uint64 {
+	return bitutil.Field(pc, 7, 6)
 }
 
 // The four tables' index functions (§7.4–7.5).
@@ -183,35 +189,49 @@ type IndexOptions struct {
 	AddressOnlyWordline bool
 }
 
-// newIndexSet builds the core.IndexSet implementing the EV8 hardware
-// index functions, with bank numbers supplied by the sequencer. Per-table
-// history lengths are applied by masking info.Hist before evaluating each
-// table's trees (the wordline always sees the masked BIM history — h3..h0
-// are within every table's window).
-func newIndexSet(seq *bankSequencer, opt IndexOptions, cfg core.Config) core.IndexSet {
-	histMask := [core.NumBanks]uint64{}
+// tables maps each logical bank to its index-function description.
+var tables = [core.NumBanks]*tableIndex{
+	core.BIM:  &bimIndex,
+	core.G0:   &g0Index,
+	core.G1:   &g1Index,
+	core.Meta: &metaIndex,
+}
+
+// indexSet implements the EV8 hardware index functions, with bank numbers
+// supplied by the sequencer. Per-table history lengths are applied by
+// masking info.Hist before evaluating each table's trees (the wordline
+// always sees the masked BIM history — h3..h0 are within every table's
+// window). A struct with fixed arrays rather than a capturing closure: the
+// per-branch evaluation performs no heap allocation.
+type indexSet struct {
+	seq        *bankSequencer
+	histMask   [core.NumBanks]uint64
+	addrOnlyWL bool
+}
+
+// index computes the four table indices for an information vector.
+func (ix *indexSet) index(info *history.Info) [core.NumBanks]uint64 {
+	bank := ix.seq.bankFor(info.BlockPC)
+	z, y := info.Path[0], info.Path[1]
+	var idx [core.NumBanks]uint64
 	for b := core.BIM; b < core.NumBanks; b++ {
-		histMask[b] = bitutil.Mask(cfg.Banks[b].HistLen)
-	}
-	wordline := wordlineEV8
-	if opt.AddressOnlyWordline {
-		wordline = wordlineAddrOnly
-	}
-	tables := [core.NumBanks]*tableIndex{
-		core.BIM:  &bimIndex,
-		core.G0:   &g0Index,
-		core.G1:   &g1Index,
-		core.Meta: &metaIndex,
-	}
-	return func(info *history.Info) [core.NumBanks]uint64 {
-		bank := seq.bankFor(info.BlockPC)
-		var idx [core.NumBanks]uint64
-		for b := core.BIM; b < core.NumBanks; b++ {
-			masked := *info
-			masked.Hist = info.Hist & histMask[b]
-			wl := wordline(&masked)
-			idx[b] = tables[b].evalIndex(&masked, bank, wl)
+		hist := info.Hist & ix.histMask[b]
+		var wl uint64
+		if ix.addrOnlyWL {
+			wl = wordlineAddrOnly(info.PC)
+		} else {
+			wl = wordlineEV8(info.PC, hist)
 		}
-		return idx
+		idx[b] = tables[b].evalIndex(info.PC, hist, z, y, bank, wl)
 	}
+	return idx
+}
+
+// newIndexSet builds the core.IndexSet for the configured variant.
+func newIndexSet(seq *bankSequencer, opt IndexOptions, cfg core.Config) core.IndexSet {
+	ix := &indexSet{seq: seq, addrOnlyWL: opt.AddressOnlyWordline}
+	for b := core.BIM; b < core.NumBanks; b++ {
+		ix.histMask[b] = bitutil.Mask(cfg.Banks[b].HistLen)
+	}
+	return ix.index
 }

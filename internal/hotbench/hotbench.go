@@ -1,0 +1,117 @@
+// Package hotbench is the shared substrate for hot-path performance
+// measurement: a fixed roster of the predictors whose per-branch cost
+// matters, and a prerecorded-event replay harness that exercises exactly
+// the predictor data path (Lookup/UpdateWith, or Predict/Update) with the
+// workload generator and front-end tracker taken out of the loop.
+//
+// Three consumers share it: the BenchmarkPredictUpdate microbenchmarks,
+// the zero-allocation gate (TestHotPathZeroAllocs), and cmd/benchbaseline,
+// which writes the machine-readable BENCH_baseline.json snapshot.
+package hotbench
+
+import (
+	"fmt"
+
+	"ev8pred/internal/core"
+	"ev8pred/internal/ev8"
+	"ev8pred/internal/frontend"
+	"ev8pred/internal/history"
+	"ev8pred/internal/predictor"
+	"ev8pred/internal/predictor/bimodal"
+	"ev8pred/internal/predictor/egskew"
+	"ev8pred/internal/predictor/gshare"
+	"ev8pred/internal/workload"
+)
+
+// Event is one prerecorded conditional branch: the information vector the
+// front end produced and the architectural outcome.
+type Event struct {
+	Info  history.Info
+	Taken bool
+}
+
+// Case names one predictor configuration to measure.
+type Case struct {
+	// Name keys benchmark output and the JSON baseline.
+	Name string
+	// Mode is the information vector the predictor is designed for; the
+	// replay events are collected under it.
+	Mode frontend.Mode
+	// New builds a cold instance.
+	New func() (predictor.Predictor, error)
+	// Gated marks the configurations covered by the zero-allocation
+	// acceptance gate (the paper-relevant hot predictors).
+	Gated bool
+}
+
+// Cases returns the measurement roster: the EV8, the unconstrained
+// 2Bc-gskew presets, and the classical baselines for scale.
+func Cases() []Case {
+	return []Case{
+		{Name: "ev8", Mode: frontend.ModeEV8(), Gated: true,
+			New: func() (predictor.Predictor, error) { return ev8.New(ev8.DefaultConfig()) }},
+		{Name: "2bcg-512K", Mode: frontend.ModeGhist(), Gated: true,
+			New: func() (predictor.Predictor, error) { return core.New(core.Config512K()) }},
+		{Name: "2bcg-ev8size", Mode: frontend.ModeGhist(), Gated: true,
+			New: func() (predictor.Predictor, error) { return core.New(core.ConfigEV8Size()) }},
+		{Name: "egskew", Mode: frontend.ModeGhist(), Gated: false,
+			New: func() (predictor.Predictor, error) { return egskew.New(8192, 13, true) }},
+		{Name: "gshare-2M", Mode: frontend.ModeGhist(), Gated: false,
+			New: func() (predictor.Predictor, error) { return gshare.New(1024*1024, 20) }},
+		{Name: "bimodal", Mode: frontend.ModeGhist(), Gated: false,
+			New: func() (predictor.Predictor, error) { return bimodal.New(256 * 1024) }},
+	}
+}
+
+// Collect records n conditional-branch events from the named synthetic
+// benchmark under mode. The front end runs once, here; replaying the events
+// afterwards costs nothing but the predictor itself.
+func Collect(mode frontend.Mode, bench string, n int) ([]Event, error) {
+	prof, err := workload.ByName(bench)
+	if err != nil {
+		return nil, err
+	}
+	src, err := workload.New(prof, 0)
+	if err != nil {
+		return nil, err
+	}
+	events := make([]Event, 0, n)
+	tr := frontend.NewTracker(mode)
+	for len(events) < n {
+		b, ok := src.Next()
+		if !ok {
+			return nil, fmt.Errorf("hotbench: %s ran dry after %d events", bench, len(events))
+		}
+		info, isCond := tr.Process(b)
+		if isCond {
+			events = append(events, Event{Info: info, Taken: b.Taken})
+		}
+	}
+	return events, nil
+}
+
+// ReplayFused pushes every event through the fused Lookup/UpdateWith pair.
+func ReplayFused(fp predictor.FusedPredictor, events []Event) {
+	for i := range events {
+		s := fp.Lookup(&events[i].Info)
+		fp.UpdateWith(s, events[i].Taken)
+	}
+}
+
+// ReplayUnfused pushes every event through the plain Predict/Update pair.
+func ReplayUnfused(p predictor.Predictor, events []Event) {
+	for i := range events {
+		p.Predict(&events[i].Info)
+		p.Update(&events[i].Info, events[i].Taken)
+	}
+}
+
+// Replay routes through the fused pair when p supports it, mirroring what
+// sim.Run does in the hot loop.
+func Replay(p predictor.Predictor, events []Event) {
+	if fp, ok := p.(predictor.FusedPredictor); ok {
+		ReplayFused(fp, events)
+		return
+	}
+	ReplayUnfused(p, events)
+}

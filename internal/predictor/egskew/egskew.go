@@ -84,20 +84,32 @@ func (e *EGskew) vector(info *history.Info) uint64 {
 	return predictor.PCBits(info.PC, e.bits) | h<<uint(e.bits)
 }
 
+// b2i converts a vote to a count without a slice round-trip.
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Lookup implements predictor.FusedPredictor: the three bank indices and
+// votes computed once, carried to update time.
+func (e *EGskew) Lookup(info *history.Info) predictor.Snapshot {
+	ibim, i0, i1 := e.indices(info)
+	pbim, p0, p1 := e.bim.Taken(ibim), e.g0.Taken(i0), e.g1.Taken(i1)
+	maj := b2i(pbim)+b2i(p0)+b2i(p1) >= 2
+	return predictor.Snapshot{
+		Idx:   [predictor.MaxSnapshotBanks]uint64{ibim, i0, i1},
+		Preds: predictor.PackPreds(pbim, p0, p1),
+		Final: maj,
+		Aux:   maj,
+	}
+}
+
 // Predict implements predictor.Predictor: the majority of the three banks.
 func (e *EGskew) Predict(info *history.Info) bool {
 	ibim, i0, i1 := e.indices(info)
-	votes := 0
-	if e.bim.Taken(ibim) {
-		votes++
-	}
-	if e.g0.Taken(i0) {
-		votes++
-	}
-	if e.g1.Taken(i1) {
-		votes++
-	}
-	return votes >= 2
+	return b2i(e.bim.Taken(ibim))+b2i(e.g0.Taken(i0))+b2i(e.g1.Taken(i1)) >= 2
 }
 
 // Update implements predictor.Predictor with the e-gskew partial update
@@ -105,14 +117,21 @@ func (e *EGskew) Predict(info *history.Info) bool {
 // outcome are strengthened; on a misprediction all banks are updated.
 func (e *EGskew) Update(info *history.Info, taken bool) {
 	ibim, i0, i1 := e.indices(info)
+	e.updateAt(ibim, i0, i1, taken)
+}
+
+// UpdateWith implements predictor.FusedPredictor: the skew hashes are
+// reused from lookup time; the votes are re-read at update time so the
+// policy sees the same counter state as the unfused path under commit
+// delay.
+func (e *EGskew) UpdateWith(s predictor.Snapshot, taken bool) {
+	e.updateAt(s.Idx[0], s.Idx[1], s.Idx[2], taken)
+}
+
+// updateAt applies the update policy at the given bank indices.
+func (e *EGskew) updateAt(ibim, i0, i1 uint64, taken bool) {
 	pbim, p0, p1 := e.bim.Taken(ibim), e.g0.Taken(i0), e.g1.Taken(i1)
-	votes := 0
-	for _, p := range []bool{pbim, p0, p1} {
-		if p {
-			votes++
-		}
-	}
-	predicted := votes >= 2
+	predicted := b2i(pbim)+b2i(p0)+b2i(p1) >= 2
 
 	if !e.partial || predicted != taken {
 		// Total update, or misprediction: step every bank.
@@ -144,9 +163,10 @@ func (e *EGskew) SizeBits() int {
 
 // Reset implements predictor.Predictor.
 func (e *EGskew) Reset() {
-	e.bim.Fill(counter.WeakNotTaken)
-	e.g0.Fill(counter.WeakNotTaken)
-	e.g1.Fill(counter.WeakNotTaken)
+	e.bim.Reset()
+	e.g0.Reset()
+	e.g1.Reset()
 }
 
 var _ predictor.Predictor = (*EGskew)(nil)
+var _ predictor.FusedPredictor = (*EGskew)(nil)

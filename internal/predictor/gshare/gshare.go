@@ -61,6 +61,23 @@ func (g *Gshare) Update(info *history.Info, taken bool) {
 	g.table.Update(g.index(info), taken)
 }
 
+// Lookup implements predictor.FusedPredictor: the folded-history index is
+// computed once and carried to update time.
+func (g *Gshare) Lookup(info *history.Info) predictor.Snapshot {
+	idx := g.index(info)
+	taken := g.table.Taken(idx)
+	return predictor.Snapshot{
+		Idx:   [predictor.MaxSnapshotBanks]uint64{idx},
+		Preds: predictor.PackPreds(taken),
+		Final: taken,
+	}
+}
+
+// UpdateWith implements predictor.FusedPredictor.
+func (g *Gshare) UpdateWith(s predictor.Snapshot, taken bool) {
+	g.table.Update(s.Idx[0], taken)
+}
+
 // Name implements predictor.Predictor.
 func (g *Gshare) Name() string { return g.name }
 
@@ -71,6 +88,7 @@ func (g *Gshare) SizeBits() int { return 2 * g.table.Len() }
 func (g *Gshare) HistLen() int { return g.histLen }
 
 // Reset implements predictor.Predictor.
-func (g *Gshare) Reset() { g.table.Fill(counter.WeakNotTaken) }
+func (g *Gshare) Reset() { g.table.Reset() }
 
 var _ predictor.Predictor = (*Gshare)(nil)
+var _ predictor.FusedPredictor = (*Gshare)(nil)

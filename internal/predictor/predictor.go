@@ -32,6 +32,71 @@ type Predictor interface {
 	Reset()
 }
 
+// MaxSnapshotBanks is the widest per-branch index set a Snapshot carries:
+// the four logical banks of 2Bc-gskew. Schemes with fewer banks use a
+// prefix of the array.
+const MaxSnapshotBanks = 4
+
+// Snapshot is the per-branch state a fused predictor computes once at
+// prediction time and consumes again at update time: the bank indices, the
+// per-bank prediction bits, and the combined verdicts. It corresponds to
+// the information the EV8 pipeline computes at fetch and carries with the
+// branch to retirement (§6 of the paper) — the index functions are never
+// re-evaluated at update.
+//
+// Snapshot is a plain value (no pointers), so carrying it through a
+// commit-delay queue costs no heap allocation.
+type Snapshot struct {
+	// Idx holds the computed bank indices, scheme-defined order (for
+	// 2Bc-gskew: BIM, G0, G1, Meta).
+	Idx [MaxSnapshotBanks]uint64
+	// Preds packs the per-bank prediction bits: bit k is bank k's
+	// direction bit at lookup time.
+	Preds uint8
+	// Final is the prediction returned to the front end.
+	Final bool
+	// Aux is a scheme-specific secondary verdict (for 2Bc-gskew: the
+	// e-gskew majority vote, which the update policy needs).
+	Aux bool
+}
+
+// Pred returns bank k's prediction bit.
+func (s *Snapshot) Pred(k int) bool { return s.Preds>>uint(k)&1 == 1 }
+
+// PackPreds packs up to four per-bank prediction bits (bank 0 first).
+func PackPreds(bits ...bool) uint8 {
+	var p uint8
+	for k, b := range bits {
+		if b {
+			p |= 1 << uint(k)
+		}
+	}
+	return p
+}
+
+// FusedPredictor is the optional fast-path contract: a predictor that can
+// compute a branch's full index set once (Lookup) and train later from the
+// carried Snapshot (UpdateWith) without re-deriving anything from the
+// information vector. The simulator (sim.Run) detects this interface and
+// routes the hot loop through it — including through the commit-delay
+// queue — falling back to the plain Predict/Update pair otherwise.
+//
+// Contract: for every branch, UpdateWith(s, taken) with s = Lookup(info)
+// must train exactly the entries Lookup read, and Predict(info) must equal
+// Lookup(info).Final. UpdateWith reuses the carried indices but must apply
+// the scheme's update policy against update-time counter state (re-reading
+// direction bits is a few cheap bit-array reads), so that for predictors
+// whose index functions are pure functions of info the fused and unfused
+// paths are bit-identical at any update delay — under commit delay an
+// aliased entry may have been trained by another branch in between.
+type FusedPredictor interface {
+	Predictor
+	// Lookup computes the branch's index set and prediction once.
+	Lookup(info *history.Info) Snapshot
+	// UpdateWith trains from a Snapshot previously returned by Lookup.
+	UpdateWith(s Snapshot, taken bool)
+}
+
 // PCBits extracts n address bits from a branch PC, skipping the two
 // always-zero alignment bits. Every PC-indexed table in the library uses
 // this so that sequential instructions map to sequential entries.

@@ -85,8 +85,12 @@ func (r Result) String() string {
 }
 
 // pendingUpdate is a deferred training event for the commit-delay mode.
+// For fused predictors it carries the prediction-time snapshot instead of
+// the information vector: the index set computed at fetch survives the
+// queue, as on the hardware, and is never re-derived.
 type pendingUpdate struct {
 	info  history.Info
+	snap  predictor.Snapshot
 	taken bool
 }
 
@@ -101,19 +105,34 @@ type BlockObserver interface {
 // Run simulates p over src. Per-thread front-end trackers are created on
 // demand, so SMT-interleaved sources work transparently (each thread gets
 // its own history registers and path queue, as on the real machine).
+//
+// When p implements predictor.FusedPredictor the hot loop computes each
+// branch's index set exactly once (Lookup) and trains from the carried
+// snapshot (UpdateWith), including through the commit-delay queue; plain
+// predictors use the Predict/Update pair as before.
 func Run(p predictor.Predictor, src trace.Source, opts Options) Result {
 	res := Result{Predictor: p.Name(), SizeBits: p.SizeBits()}
 	trackers := map[int]*frontend.Tracker{}
+	fp, fused := p.(predictor.FusedPredictor)
 	var queue []pendingUpdate
 
 	flush := func(keep int) {
 		for len(queue) > keep {
 			u := queue[0]
 			queue = queue[1:]
-			p.Update(&u.info, u.taken)
+			if fused {
+				fp.UpdateWith(u.snap, u.taken)
+			} else {
+				p.Update(&u.info, u.taken)
+			}
 		}
 	}
 
+	// info is hoisted out of the loop: its address is passed through
+	// interface calls, so a loop-local would escape and cost one heap
+	// allocation per branch. Hoisted, the whole run allocates it once.
+	var info history.Info
+	var isCond bool
 	for {
 		if opts.MaxBranches > 0 && res.Branches >= opts.MaxBranches {
 			break
@@ -132,7 +151,7 @@ func Run(p predictor.Predictor, src trace.Source, opts Options) Result {
 			}
 			trackers[b.Thread] = tr
 		}
-		info, isCond := tr.Process(b)
+		info, isCond = tr.Process(b)
 		// One gate decides the whole record: it is measured iff the
 		// warmup boundary (retirement of conditional branch #Warmup)
 		// lies before it. For a conditional record this is the same
@@ -144,16 +163,26 @@ func Run(p predictor.Predictor, src trace.Source, opts Options) Result {
 		if !isCond {
 			continue
 		}
-		pred := p.Predict(&info)
+		var pred bool
+		var snap predictor.Snapshot
+		if fused {
+			snap = fp.Lookup(&info)
+			pred = snap.Final
+		} else {
+			pred = p.Predict(&info)
+		}
 		if measured && pred != b.Taken {
 			res.Mispredicts++
 		}
 		res.Branches++
-		if opts.UpdateDelay <= 0 {
-			p.Update(&info, b.Taken)
-		} else {
-			queue = append(queue, pendingUpdate{info: info, taken: b.Taken})
+		switch {
+		case opts.UpdateDelay > 0:
+			queue = append(queue, pendingUpdate{info: info, snap: snap, taken: b.Taken})
 			flush(opts.UpdateDelay)
+		case fused:
+			fp.UpdateWith(snap, b.Taken)
+		default:
+			p.Update(&info, b.Taken)
 		}
 	}
 	flush(0)

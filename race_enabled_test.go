@@ -1,0 +1,8 @@
+//go:build race
+
+package ev8pred_test
+
+// raceEnabled reports whether the race detector is compiled in; the
+// zero-allocation gate skips under it (the detector's shadow bookkeeping
+// allocates and would make the count meaningless).
+const raceEnabled = true
