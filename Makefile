@@ -3,19 +3,22 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-baseline check report fuzz examples clean
+.PHONY: all build vet test race bench bench-baseline check report fuzz faultinject examples clean
 
 all: build vet test
 
 # The full gate CI runs: static checks, build, the test suite under the
-# race detector, the hot-path zero-allocation gate (without -race, where
-# allocation accounting is exact), and benchmark smokes so neither the
+# race detector, the hot-path zero-allocation gates (without -race, where
+# allocation accounting is exact), the trace fault-injection suite, a
+# short decoder fuzz smoke, and benchmark smokes so neither the
 # testing.B harness nor the per-predictor microbenchmarks can rot.
 check:
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test -race ./...
-	$(GO) test -run TestHotPathZeroAllocs -count=1 .
+	$(GO) test -run 'TestHotPathZeroAllocs|TestDelayedUpdateZeroAllocsSteadyState' -count=1 .
+	$(GO) test -run 'TestFault' -count=1 ./internal/trace/faultinject/
+	$(GO) test -fuzz FuzzReader -fuzztime 30s -run '^$$' ./internal/trace/
 	$(GO) test -bench=Table1 -benchtime=1x -run '^$$' .
 	$(GO) test -bench=PredictUpdate -benchtime=100x -run '^$$' .
 
@@ -47,10 +50,17 @@ bench-baseline:
 report:
 	$(GO) run ./cmd/ev8bench -experiment all -o bench_report.txt
 
-# Short fuzz sessions over the trace codec.
+# Short fuzz sessions over the trace codec and the fault-injection
+# mutant space.
 fuzz:
 	$(GO) test -fuzz FuzzReader -fuzztime 30s ./internal/trace/
 	$(GO) test -fuzz FuzzRoundTrip -fuzztime 30s ./internal/trace/
+	$(GO) test -fuzz FuzzMutatedTrace -fuzztime 30s ./internal/trace/faultinject/
+
+# Exhaustive trace-corruption suite: every prefix truncation and every
+# single-bit flip of a format-2 stream must surface a typed error.
+faultinject:
+	$(GO) test -run 'TestFault' -count=1 -v ./internal/trace/faultinject/
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -65,7 +65,10 @@ func BenchmarkTable1EV8Throughput(b *testing.B) {
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
-	r := ev8pred.Run(p, src, ev8pred.Options{Mode: ev8pred.ModeEV8(), MaxBranches: int64(b.N)})
+	r, err := ev8pred.Run(p, src, ev8pred.Options{Mode: ev8pred.ModeEV8(), MaxBranches: int64(b.N)})
+	if err != nil {
+		b.Fatal(err)
+	}
 	b.ReportMetric(1000*float64(r.Mispredicts)/float64(r.Instructions+1), "misp/KI")
 }
 
@@ -155,7 +158,9 @@ func benchPredictor(b *testing.B, p ev8pred.Predictor, mode ev8pred.Mode) {
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
-	ev8pred.Run(p, src, ev8pred.Options{Mode: mode, MaxBranches: int64(b.N)})
+	if _, err := ev8pred.Run(p, src, ev8pred.Options{Mode: mode, MaxBranches: int64(b.N)}); err != nil {
+		b.Fatal(err)
+	}
 }
 
 func BenchmarkPredictorEV8(b *testing.B) {

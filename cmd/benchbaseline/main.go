@@ -179,7 +179,11 @@ func measureEndToEnd(branches int64) (metric, error) {
 		return metric{}, err
 	}
 	opts.MaxBranches = min64(branches, 1<<14)
-	if r := sim.Run(p, src, opts); r.Branches == 0 {
+	r, err := sim.Run(p, src, opts)
+	if err != nil {
+		return metric{}, err
+	}
+	if r.Branches == 0 {
 		return metric{}, fmt.Errorf("degenerate end-to-end run: %+v", r)
 	}
 	opts, p, src, err = mk()
@@ -189,7 +193,9 @@ func measureEndToEnd(branches int64) (metric, error) {
 	var before, after runtime.MemStats
 	runtime.ReadMemStats(&before)
 	start := time.Now()
-	sim.Run(p, src, opts)
+	if _, err := sim.Run(p, src, opts); err != nil {
+		return metric{}, err
+	}
 	elapsed := time.Since(start)
 	runtime.ReadMemStats(&after)
 	ns := float64(elapsed.Nanoseconds()) / float64(branches)

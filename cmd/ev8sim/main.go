@@ -132,8 +132,10 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 		records := trace.Collect(rd, 0)
+		// A decode error mid-stream (truncation, CRC mismatch) must fail
+		// the run, not silently simulate the valid prefix.
 		if err := rd.Err(); err != nil {
-			return err
+			return fmt.Errorf("%s: %w", *traceFile, err)
 		}
 		if err := closer.Close(); err != nil {
 			return err
@@ -143,7 +145,10 @@ func run(args []string, out io.Writer) error {
 			if err != nil {
 				return err
 			}
-			r := sim.Run(p, trace.NewSlice(records), opts)
+			r, err := sim.Run(p, trace.NewSlice(records), opts)
+			if err != nil {
+				return err
+			}
 			r.Workload = *traceFile
 			addRow(tbl, r)
 		}
@@ -183,7 +188,10 @@ func run(args []string, out io.Writer) error {
 					}
 					srcs[i] = g
 				}
-				r = sim.Run(p, workload.NewInterleaved(srcs, *quantum), opts)
+				r, err = sim.Run(p, workload.NewInterleaved(srcs, *quantum), opts)
+				if err != nil {
+					return err
+				}
 				r.Workload = fmt.Sprintf("%s x%d", prof.Name, *threads)
 			}
 			if r.Workload == "" {

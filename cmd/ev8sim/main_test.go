@@ -1,6 +1,8 @@
 package main
 
 import (
+	"bytes"
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
@@ -72,6 +74,47 @@ func TestRunTraceMode(t *testing.T) {
 	}
 	if !strings.Contains(sb.String(), "2Bc-gskew-256Kbit") {
 		t.Errorf("trace-mode output:\n%s", sb.String())
+	}
+}
+
+// TestRunCorruptedTrace: a trace damaged mid-stream (one flipped bit,
+// one truncated tail) must fail the run with a typed format error —
+// silently simulating the valid prefix would fabricate results. The
+// non-nil error is what makes the binary exit non-zero.
+func TestRunCorruptedTrace(t *testing.T) {
+	prof, err := workload.ByName("compress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := workload.New(prof, 50_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := trace.WriteAll(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	cases := map[string][]byte{
+		"bitflip.ev8t":  append([]byte(nil), data...),
+		"truncate.ev8t": data[:len(data)*2/3],
+	}
+	cases["bitflip.ev8t"][len(data)/2] ^= 0x10
+
+	for name, mutant := range cases {
+		path := filepath.Join(t.TempDir(), name)
+		if err := os.WriteFile(path, mutant, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		var sb strings.Builder
+		err := run([]string{"-predictors", "2bcg256", "-trace", path, "-mode", "ghist"}, &sb)
+		if err == nil {
+			t.Fatalf("%s: corrupted trace simulated without error:\n%s", name, sb.String())
+		}
+		if !errors.Is(err, trace.ErrBadFormat) {
+			t.Fatalf("%s: error not ErrBadFormat: %v", name, err)
+		}
 	}
 }
 

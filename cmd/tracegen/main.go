@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	tracegen [-benchmarks all|gcc,go,...] [-instructions N] [-dir out/] [-gzip]
+//	tracegen [-benchmarks all|gcc,go,...] [-instructions N] [-dir out/] [-gzip] [-format 1|2]
 package main
 
 import (
@@ -36,6 +36,8 @@ func run(args []string, out io.Writer) error {
 		instructions = fs.Int64("instructions", 10_000_000, "instructions per benchmark")
 		dir          = fs.String("dir", ".", "output directory")
 		useGzip      = fs.Bool("gzip", false, "gzip-compress the trace files")
+		format       = fs.Int("format", trace.DefaultVersion,
+			"trace format version: 2 adds per-chunk CRCs and a counted footer, 1 is the legacy bare stream")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -65,7 +67,7 @@ func run(args []string, out io.Writer) error {
 			name += ".gz"
 		}
 		path := filepath.Join(*dir, name)
-		n, stats, err := writeTrace(path, prof, *instructions, *useGzip)
+		n, stats, err := writeTrace(path, prof, *instructions, *useGzip, *format)
 		if err != nil {
 			return err
 		}
@@ -80,7 +82,7 @@ func run(args []string, out io.Writer) error {
 }
 
 // writeTrace streams one benchmark to disk while accumulating statistics.
-func writeTrace(path string, prof workload.Profile, instructions int64, useGzip bool) (int64, *trace.Stats, error) {
+func writeTrace(path string, prof workload.Profile, instructions int64, useGzip bool, format int) (int64, *trace.Stats, error) {
 	g, err := workload.New(prof, instructions)
 	if err != nil {
 		return 0, nil, err
@@ -95,7 +97,7 @@ func writeTrace(path string, prof workload.Profile, instructions int64, useGzip 
 		gz = gzip.NewWriter(f)
 		w = gz
 	}
-	tw, err := trace.NewWriter(w)
+	tw, err := trace.NewWriterVersion(w, format)
 	if err != nil {
 		f.Close()
 		return 0, nil, err
@@ -111,6 +113,10 @@ func writeTrace(path string, prof workload.Profile, instructions int64, useGzip 
 			f.Close()
 			return tw.Count(), stats, err
 		}
+	}
+	if err := trace.SourceErr(g); err != nil {
+		f.Close()
+		return tw.Count(), stats, err
 	}
 	if err := tw.Flush(); err != nil {
 		f.Close()

@@ -57,6 +57,45 @@ func TestRunGzip(t *testing.T) {
 	}
 }
 
+// TestRunFormat1 checks the compatibility escape hatch: -format 1
+// emits a legacy stream old readers accept, and the library reads it
+// back as version 1.
+func TestRunFormat1(t *testing.T) {
+	dir := t.TempDir()
+	var sb strings.Builder
+	err := run([]string{
+		"-benchmarks", "compress", "-instructions", "50000", "-dir", dir, "-format", "1",
+	}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(filepath.Join(dir, "compress.ev8t"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	r, err := trace.NewReader(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Version() != 1 {
+		t.Fatalf("trace version = %d, want 1", r.Version())
+	}
+	if recs := trace.Collect(r, 0); len(recs) == 0 {
+		t.Fatal("empty v1 trace written")
+	}
+	if err := r.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFormatRejected(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-benchmarks", "compress", "-dir", t.TempDir(), "-format", "3"}, &sb); err == nil {
+		t.Error("unsupported format version accepted")
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	var sb strings.Builder
 	if err := run([]string{"-benchmarks", "nonesuch"}, &sb); err == nil {

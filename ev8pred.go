@@ -15,9 +15,12 @@
 //
 //	p := ev8pred.NewEV8()                       // the 352 Kbit EV8 predictor
 //	prof, _ := ev8pred.BenchmarkByName("gcc")   // a synthetic SPECINT95-like workload
-//	r, _ := ev8pred.RunBenchmark(p, prof, 10_000_000, ev8pred.Options{
+//	r, err := ev8pred.RunBenchmark(p, prof, 10_000_000, ev8pred.Options{
 //		Mode: ev8pred.ModeEV8(),            // 3-blocks-old lghist + path info
 //	})
+//	if err != nil {                             // e.g. a corrupted trace source
+//		log.Fatal(err)
+//	}
 //	fmt.Println(r) // misp/KI, accuracy, branch count
 //
 // # Custom predictors
@@ -115,8 +118,26 @@ func NewWorkload(prof Profile, instructions int64) (Source, error) {
 	return workload.New(prof, instructions)
 }
 
-// Run simulates a predictor over an arbitrary branch source.
-func Run(p Predictor, src Source, opts Options) Result { return sim.Run(p, src, opts) }
+// ErrSource is a Source that can fail mid-stream; after Next returns
+// false, Err distinguishes a clean end of stream from a decode error.
+// File-backed trace readers implement it, and Run checks it, so corrupted
+// input cannot masquerade as a short-but-valid run.
+type ErrSource = trace.ErrSource
+
+// ErrBadTraceFormat is the sentinel every trace decode failure wraps:
+// bad magic, truncation, CRC mismatch, footer count mismatch, or an
+// out-of-range field. Match with errors.Is.
+var ErrBadTraceFormat = trace.ErrBadFormat
+
+// SourceErr returns the deferred stream error of src if it exposes one
+// (implements ErrSource), and nil otherwise.
+func SourceErr(src Source) error { return trace.SourceErr(src) }
+
+// Run simulates a predictor over an arbitrary branch source. A non-nil
+// error means the source failed mid-stream (e.g. a corrupted trace file);
+// the returned Result covers the branches processed before the failure
+// and must not be treated as a complete run.
+func Run(p Predictor, src Source, opts Options) (Result, error) { return sim.Run(p, src, opts) }
 
 // RunBenchmark simulates a predictor over a synthetic benchmark.
 func RunBenchmark(p Predictor, prof Profile, instructions int64, opts Options) (Result, error) {

@@ -97,7 +97,10 @@ func TestFacadeTraceRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r := ev8pred.Run(p, ev8pred.NewSliceSource(records), ev8pred.Options{})
+	r, err := ev8pred.Run(p, ev8pred.NewSliceSource(records), ev8pred.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if r.Branches == 0 {
 		t.Fatal("replay produced no branches")
 	}
@@ -116,7 +119,10 @@ func TestFacadeSMT(t *testing.T) {
 		}
 	}
 	p := ev8pred.NewEV8()
-	r := ev8pred.Run(p, ev8pred.NewInterleaved(srcs, 500), ev8pred.Options{Mode: ev8pred.ModeEV8()})
+	r, err := ev8pred.Run(p, ev8pred.NewInterleaved(srcs, 500), ev8pred.Options{Mode: ev8pred.ModeEV8()})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if r.Branches == 0 {
 		t.Fatal("SMT run produced no branches")
 	}

@@ -70,8 +70,11 @@ func ExampleRunFrontEnd() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	r := ev8pred.RunFrontEnd(ev8pred.NewEV8(), src,
+	r, err := ev8pred.RunFrontEnd(ev8pred.NewEV8(), src,
 		ev8pred.Options{Mode: ev8pred.ModeEV8()}, ev8pred.FrontEndConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
 	est := ev8pred.EstimatePerf(ev8pred.PerfEV8(), r)
 	fmt.Println("returns predicted by the RAS:", r.RASAccuracy > 0.99)
 	fmt.Println("IPC within machine limits:", est.IPC > 0 && est.IPC <= 8)

@@ -44,8 +44,11 @@ func main() {
 			srcs[i] = src
 		}
 		p := ev8pred.NewEV8()
-		r := ev8pred.Run(p, ev8pred.NewInterleaved(srcs, quantum),
+		r, err := ev8pred.Run(p, ev8pred.NewInterleaved(srcs, quantum),
 			ev8pred.Options{Mode: ev8pred.ModeEV8()})
+		if err != nil {
+			log.Fatal(err)
+		}
 		fmt.Printf("%d threads: %6.2f misp/KI  (%d branches, %d bank conflicts)\n",
 			threads, r.MispKI(), r.Branches, p.BankConflicts())
 	}

@@ -32,8 +32,9 @@ var (
 
 // RunFrontEnd simulates the full PC-address generator over src. A nil
 // predictor selects a perfect (oracle) conditional predictor, for
-// upper-bound studies.
-func RunFrontEnd(p Predictor, src Source, opts Options, fecfg FrontEndConfig) FrontEndResult {
+// upper-bound studies. A non-nil error means the source failed
+// mid-stream (e.g. a corrupted trace file).
+func RunFrontEnd(p Predictor, src Source, opts Options, fecfg FrontEndConfig) (FrontEndResult, error) {
 	return sim.RunFrontEnd(p, src, opts, fecfg)
 }
 

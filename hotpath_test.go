@@ -9,8 +9,10 @@ package ev8pred_test
 import (
 	"testing"
 
+	"ev8pred"
 	"ev8pred/internal/hotbench"
 	"ev8pred/internal/predictor"
+	"ev8pred/internal/trace"
 )
 
 const hotEvents = 4096
@@ -56,6 +58,50 @@ func TestHotPathZeroAllocs(t *testing.T) {
 					c.Name, allocs, len(events))
 			}
 		})
+	}
+}
+
+// TestDelayedUpdateZeroAllocsSteadyState gates the commit-delay queue:
+// with UpdateDelay > 0 the pending updates must live in the fixed ring
+// sim.Run allocates once, not in a slice that grows as queue[1:] pops
+// retain the backing array. A full sim.Run carries constant setup cost
+// (predictor tables, tracker, the ring itself), so the gate compares
+// whole-run allocation counts at two stream lengths: equal totals mean
+// the marginal branches allocated nothing.
+func TestDelayedUpdateZeroAllocsSteadyState(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation accounting is not meaningful under the race detector")
+	}
+	prof, err := ev8pred.BenchmarkByName("gcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := ev8pred.NewWorkload(prof, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	branches := trace.Collect(g, 4096)
+	if len(branches) < 4096 {
+		t.Fatalf("collected only %d branches", len(branches))
+	}
+
+	runAllocs := func(recs []ev8pred.Branch) float64 {
+		return testing.AllocsPerRun(5, func() {
+			p := ev8pred.NewEV8()
+			_, err := ev8pred.Run(p, trace.NewSlice(recs), ev8pred.Options{
+				Mode:        ev8pred.ModeEV8(),
+				UpdateDelay: 64,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	short := runAllocs(branches[:1024])
+	long := runAllocs(branches)
+	if extra := long - short; extra > 0 {
+		t.Errorf("delayed-update path: %.1f extra allocs for %d extra branches, want 0 (short=%.1f long=%.1f)",
+			extra, len(branches)-1024, short, long)
 	}
 }
 

@@ -80,7 +80,7 @@ func runSMT(cfg Config) (*report.Table, error) {
 				if err != nil {
 					return sim.Result{}, err
 				}
-				return sim.Run(ev8.MustNew(ev8.DefaultConfig()), src, mode), nil
+				return sim.Run(ev8.MustNew(ev8.DefaultConfig()), src, mode)
 			},
 			// EV8 SMT with one shared history context.
 			func() (sim.Result, error) {
@@ -89,7 +89,7 @@ func runSMT(cfg Config) (*report.Table, error) {
 					return sim.Result{}, err
 				}
 				return sim.Run(ev8.MustNew(ev8.DefaultConfig()), src,
-					sim.Options{Mode: frontend.ModeEV8(), LenientFlow: true}), nil
+					sim.Options{Mode: frontend.ModeEV8(), LenientFlow: true})
 			},
 			// Local predictor, single thread and SMT (its tables are
 			// shared either way; SMT pollutes both levels).
@@ -101,7 +101,7 @@ func runSMT(cfg Config) (*report.Table, error) {
 				if err != nil {
 					return sim.Result{}, err
 				}
-				return sim.Run(mkLocal(), src, mode), nil
+				return sim.Run(mkLocal(), src, mode)
 			},
 		}
 		fns = append(fns, variants...)

@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"fmt"
+
 	"ev8pred/internal/frontend"
 	"ev8pred/internal/predictor"
 	"ev8pred/internal/trace"
@@ -52,8 +54,9 @@ type FrontEndResult struct {
 // RunFrontEnd simulates the whole §2 PC-address generator: the
 // conditional predictor p (nil = oracle, for upper-bound studies), the
 // jump predictor, the return-address stack, and the line predictor, over
-// a single-threaded source.
-func RunFrontEnd(p predictor.Predictor, src trace.Source, opts Options, fecfg FrontEndConfig) FrontEndResult {
+// a single-threaded source. Like Run, it returns an error when the source
+// fails mid-stream rather than reporting a short-but-successful result.
+func RunFrontEnd(p predictor.Predictor, src trace.Source, opts Options, fecfg FrontEndConfig) (FrontEndResult, error) {
 	fecfg = fecfg.withDefaults()
 	var res FrontEndResult
 	if p != nil {
@@ -107,7 +110,10 @@ func RunFrontEnd(p predictor.Predictor, src trace.Source, opts Options, fecfg Fr
 	res.JumpAccuracy = pg.JumpAccuracy()
 	res.LineAccuracy = lp.Accuracy()
 	res.LineMisses = lp.Misses()
-	return res
+	if err := trace.SourceErr(src); err != nil {
+		return res, fmt.Errorf("sim: source failed after %d branches: %w", res.Branches, err)
+	}
+	return res, nil
 }
 
 // RunFrontEndBenchmark is RunFrontEnd over a named synthetic benchmark.
@@ -116,7 +122,7 @@ func RunFrontEndBenchmark(p predictor.Predictor, prof workload.Profile, instrBud
 	if err != nil {
 		return FrontEndResult{}, err
 	}
-	r := RunFrontEnd(p, g, opts, fecfg)
+	r, err := RunFrontEnd(p, g, opts, fecfg)
 	r.Workload = prof.Name
-	return r, nil
+	return r, err
 }

@@ -84,6 +84,23 @@ func (r Result) String() string {
 		r.Predictor, r.Workload, r.MispKI(), 100*r.Accuracy(), r.Branches)
 }
 
+// Validate checks the internal consistency of a Result: counts must be
+// non-negative, mispredictions cannot exceed branches, and every measured
+// branch carries at least one instruction. Run applies it before
+// returning, so an accounting bug surfaces as an error instead of a
+// quietly wrong table row.
+func (r Result) Validate() error {
+	switch {
+	case r.Branches < 0 || r.Mispredicts < 0 || r.Instructions < 0:
+		return fmt.Errorf("sim: invalid result: negative count in %+v", r)
+	case r.Mispredicts > r.Branches:
+		return fmt.Errorf("sim: invalid result: %d mispredicts exceed %d branches", r.Mispredicts, r.Branches)
+	case r.Branches > r.Instructions:
+		return fmt.Errorf("sim: invalid result: %d branches exceed %d instructions", r.Branches, r.Instructions)
+	}
+	return nil
+}
+
 // pendingUpdate is a deferred training event for the commit-delay mode.
 // For fused predictors it carries the prediction-time snapshot instead of
 // the information vector: the index set computed at fetch survives the
@@ -110,21 +127,31 @@ type BlockObserver interface {
 // branch's index set exactly once (Lookup) and trains from the carried
 // snapshot (UpdateWith), including through the commit-delay queue; plain
 // predictors use the Predict/Update pair as before.
-func Run(p predictor.Predictor, src trace.Source, opts Options) Result {
+//
+// Run returns an error when the source fails mid-stream (it implements
+// trace.ErrSource and reports a decode error — a truncated or corrupted
+// trace file must not be mistaken for a short-but-valid run) or when the
+// accumulated Result fails its sanity check. The Result reflects the
+// branches processed before the failure.
+func Run(p predictor.Predictor, src trace.Source, opts Options) (Result, error) {
 	res := Result{Predictor: p.Name(), SizeBits: p.SizeBits()}
 	trackers := map[int]*frontend.Tracker{}
 	fp, fused := p.(predictor.FusedPredictor)
-	var queue []pendingUpdate
 
-	flush := func(keep int) {
-		for len(queue) > keep {
-			u := queue[0]
-			queue = queue[1:]
-			if fused {
-				fp.UpdateWith(u.snap, u.taken)
-			} else {
-				p.Update(&u.info, u.taken)
-			}
+	// The commit-delay queue is a fixed ring of UpdateDelay slots,
+	// allocated once per run: the old slice queue popped via queue[1:],
+	// retaining the dead head of the backing array for the life of the
+	// run and growing the backing array as appends wrapped.
+	var ring []pendingUpdate
+	var head, count int
+	if opts.UpdateDelay > 0 {
+		ring = make([]pendingUpdate, opts.UpdateDelay)
+	}
+	apply := func(u *pendingUpdate) {
+		if fused {
+			fp.UpdateWith(u.snap, u.taken)
+		} else {
+			p.Update(&u.info, u.taken)
 		}
 	}
 
@@ -177,15 +204,37 @@ func Run(p predictor.Predictor, src trace.Source, opts Options) Result {
 		res.Branches++
 		switch {
 		case opts.UpdateDelay > 0:
-			queue = append(queue, pendingUpdate{info: info, snap: snap, taken: b.Taken})
-			flush(opts.UpdateDelay)
+			// FIFO through the ring: when full, the oldest pending
+			// update retires into the predictor and its slot is reused.
+			if count == len(ring) {
+				apply(&ring[head])
+				ring[head] = pendingUpdate{info: info, snap: snap, taken: b.Taken}
+				head++
+				if head == len(ring) {
+					head = 0
+				}
+			} else {
+				i := head + count
+				if i >= len(ring) {
+					i -= len(ring)
+				}
+				ring[i] = pendingUpdate{info: info, snap: snap, taken: b.Taken}
+				count++
+			}
 		case fused:
 			fp.UpdateWith(snap, b.Taken)
 		default:
 			p.Update(&info, b.Taken)
 		}
 	}
-	flush(0)
+	for count > 0 {
+		apply(&ring[head])
+		head++
+		if head == len(ring) {
+			head = 0
+		}
+		count--
+	}
 	// Report only measured branches. The clamp matters when the stream
 	// ends at or before the warmup boundary (res.Branches <= Warmup):
 	// zero branches were measured, and the old `> Warmup` guard left the
@@ -193,7 +242,13 @@ func Run(p predictor.Predictor, src trace.Source, opts Options) Result {
 	if opts.Warmup > 0 {
 		res.Branches -= min(res.Branches, opts.Warmup)
 	}
-	return res
+	if err := trace.SourceErr(src); err != nil {
+		return res, fmt.Errorf("sim: source failed after %d branches: %w", res.Branches, err)
+	}
+	if err := res.Validate(); err != nil {
+		return res, err
+	}
+	return res, nil
 }
 
 // RunBenchmark builds the named synthetic benchmark with instrBudget
@@ -203,9 +258,9 @@ func RunBenchmark(p predictor.Predictor, prof workload.Profile, instrBudget int6
 	if err != nil {
 		return Result{}, err
 	}
-	r := Run(p, g, opts)
+	r, err := Run(p, g, opts)
 	r.Workload = prof.Name
-	return r, nil
+	return r, err
 }
 
 // Factory builds a fresh predictor instance for one benchmark run.

@@ -30,9 +30,19 @@ func (c *constSource) Next() (trace.Branch, bool) {
 	return trace.Branch{PC: c.pc, Target: c.pc - 9*trace.InstrBytes, Taken: c.taken, Gap: 9}, true
 }
 
+// mustRun is the test-side adapter for Run's (Result, error) contract.
+func mustRun(t *testing.T, p predictor.Predictor, src trace.Source, opts Options) Result {
+	t.Helper()
+	r, err := Run(p, src, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
 func TestRunBiasedBranch(t *testing.T) {
 	p := bimodal.MustNew(1024)
-	r := Run(p, &constSource{n: 1000, pc: 0x1000, taken: true}, Options{})
+	r := mustRun(t, p, &constSource{n: 1000, pc: 0x1000, taken: true}, Options{})
 	if r.Branches != 1000 {
 		t.Fatalf("branches = %d", r.Branches)
 	}
@@ -54,7 +64,7 @@ func TestRunBiasedBranch(t *testing.T) {
 
 func TestRunMaxBranches(t *testing.T) {
 	p := bimodal.MustNew(64)
-	r := Run(p, &constSource{n: 1000, pc: 0x1000, taken: true}, Options{MaxBranches: 100})
+	r := mustRun(t, p, &constSource{n: 1000, pc: 0x1000, taken: true}, Options{MaxBranches: 100})
 	if r.Branches != 100 {
 		t.Errorf("branches = %d, want 100", r.Branches)
 	}
@@ -62,7 +72,7 @@ func TestRunMaxBranches(t *testing.T) {
 
 func TestRunWarmupExcluded(t *testing.T) {
 	p := bimodal.MustNew(64)
-	r := Run(p, &constSource{n: 1000, pc: 0x2000, taken: true}, Options{Warmup: 10})
+	r := mustRun(t, p, &constSource{n: 1000, pc: 0x2000, taken: true}, Options{Warmup: 10})
 	if r.Branches != 990 {
 		t.Errorf("measured branches = %d, want 990", r.Branches)
 	}
@@ -108,7 +118,7 @@ func TestWarmupWindowSemantics(t *testing.T) {
 		{trace.Cond, 0, true}, // branch #3: measured, 1 instruction
 	}
 	p := &probePredictor{} // always predicts not-taken
-	r := Run(p, trace.NewSlice(mkRecords(steps)), Options{Warmup: 2})
+	r := mustRun(t, p, trace.NewSlice(mkRecords(steps)), Options{Warmup: 2})
 	if r.Branches != 1 {
 		t.Errorf("measured branches = %d, want 1", r.Branches)
 	}
@@ -120,7 +130,7 @@ func TestWarmupWindowSemantics(t *testing.T) {
 	}
 
 	// Without warmup the same stream counts everything.
-	r = Run(&probePredictor{}, trace.NewSlice(mkRecords(steps)), Options{})
+	r = mustRun(t, &probePredictor{}, trace.NewSlice(mkRecords(steps)), Options{})
 	if r.Branches != 3 || r.Instructions != 26 || r.Mispredicts != 3 {
 		t.Errorf("no-warmup run = %d branches, %d instructions, %d mispredicts; want 3, 26, 3",
 			r.Branches, r.Instructions, r.Mispredicts)
@@ -149,7 +159,7 @@ func TestWarmupBoundaryShortStreams(t *testing.T) {
 			for i := range steps {
 				steps[i] = recStep{trace.Cond, 3, true}
 			}
-			r := Run(&probePredictor{}, trace.NewSlice(mkRecords(steps)), Options{Warmup: c.warmup})
+			r := mustRun(t, &probePredictor{}, trace.NewSlice(mkRecords(steps)), Options{Warmup: c.warmup})
 			if r.Branches != c.want {
 				t.Errorf("measured branches = %d, want %d", r.Branches, c.want)
 			}
@@ -256,7 +266,7 @@ func TestSMTPerThreadHistories(t *testing.T) {
 		workload.MustNew(prof, 300_000),
 		workload.MustNew(prof, 300_000),
 	}, 800)
-	smt := Run(core.MustNew(core.Config256K()), iv, Options{})
+	smt := mustRun(t, core.MustNew(core.Config256K()), iv, Options{})
 	smt.Workload = "perl-x2"
 	if smt.Branches < 2*single.Branches*9/10 {
 		t.Fatalf("SMT run too short: %d vs %d", smt.Branches, single.Branches)
@@ -298,7 +308,7 @@ func TestModePlumbing(t *testing.T) {
 	seen := func(mode frontend.Mode) uint64 {
 		probe := &probePredictor{}
 		g := workload.MustNew(prof, 50_000)
-		Run(probe, g, Options{Mode: mode})
+		mustRun(t, probe, g, Options{Mode: mode})
 		return probe.xor
 	}
 	if seen(frontend.ModeGhist()) == seen(frontend.ModeLghist()) {

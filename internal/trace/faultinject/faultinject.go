@@ -1,0 +1,66 @@
+// Package faultinject enumerates systematic mutations of a serialized
+// trace — every prefix truncation and every single-bit flip — so tests
+// can assert that the format-2 integrity machinery (per-chunk CRC32,
+// record/instruction-count footer, bounded varints) converts each one
+// into a typed decode error rather than a silent short read or a panic.
+//
+// Single-BIT flips, not byte-value substitutions, are the unit of
+// corruption: they model the physical fault (a flipped storage or bus
+// bit), every multi-bit error is detected whenever its bits land in one
+// CRC-protected chunk, and they make the version-byte argument exact —
+// no single-bit flip of version 2 (0x02) yields version 1 (0x01), so a
+// corrupted v2 stream can never silently downgrade to the uncheck-
+// summed v1 parse.
+//
+// The enumerators are callback-style to avoid materializing the mutant
+// set: a trace of n bytes has n truncations and 8n bit flips, and the
+// suite runs every one of them through the full Reader (and a sample
+// through sim.Run). Corpus materializes a deterministic sample for
+// seeding the trace fuzzers.
+package faultinject
+
+// EachTruncation invokes fn once for every proper prefix of data, from
+// the empty stream up to len(data)-1 bytes. The mutant aliases data's
+// backing array (with capacity clipped so appends cannot scribble on
+// the suffix) and is only valid for the duration of the call.
+func EachTruncation(data []byte, fn func(n int, mutant []byte)) {
+	for n := 0; n < len(data); n++ {
+		fn(n, data[:n:n])
+	}
+}
+
+// EachBitFlip invokes fn once for every single-bit mutation of data:
+// 8*len(data) calls, flipping bit `bit` of byte `off`. The mutant is a
+// private copy mutated in place and reverted after each call, so fn
+// must not retain it.
+func EachBitFlip(data []byte, fn func(off int, bit uint, mutant []byte)) {
+	mutant := make([]byte, len(data))
+	copy(mutant, data)
+	for off := range mutant {
+		for bit := uint(0); bit < 8; bit++ {
+			mutant[off] ^= 1 << bit
+			fn(off, bit, mutant)
+			mutant[off] ^= 1 << bit
+		}
+	}
+}
+
+// Corpus returns an owned, deterministic sample of mutants for seeding
+// fuzzers: every stride-th truncation and, per stride-th byte, one bit
+// flip (the bit index rotates with the offset so all eight positions
+// appear). stride < 1 is treated as 1, i.e. the full mutant set.
+func Corpus(data []byte, stride int) [][]byte {
+	if stride < 1 {
+		stride = 1
+	}
+	var out [][]byte
+	for n := 0; n < len(data); n += stride {
+		out = append(out, append([]byte(nil), data[:n]...))
+	}
+	for off := 0; off < len(data); off += stride {
+		m := append([]byte(nil), data...)
+		m[off] ^= 1 << (uint(off) % 8)
+		out = append(out, m)
+	}
+	return out
+}

@@ -87,6 +87,29 @@ type Source interface {
 	Next() (Branch, bool)
 }
 
+// ErrSource is a Source that can fail mid-stream. Next's false return is
+// deliberately ambiguous between "clean end of stream" and "decode error";
+// ErrSource resolves the ambiguity: after Next returns false, Err reports
+// the terminal error, or nil for a clean end. File-backed sources (Reader)
+// and every wrapper in this package implement it, and sim.Run checks it
+// after draining any source, so a corrupted trace can never masquerade as
+// a short-but-valid run.
+type ErrSource interface {
+	Source
+	Err() error
+}
+
+// SourceErr returns the deferred stream error of src if it exposes one
+// (implements ErrSource), and nil otherwise. Drain-to-exhaustion loops
+// must call it after the final Next: dropping it silently converts data
+// corruption into a short stream.
+func SourceErr(src Source) error {
+	if es, ok := src.(ErrSource); ok {
+		return es.Err()
+	}
+	return nil
+}
+
 // Resetter is implemented by sources that can restart from the beginning.
 // All synthetic workloads and in-memory traces implement it.
 type Resetter interface {
@@ -114,6 +137,9 @@ func (s *Slice) Next() (Branch, bool) {
 
 // Reset implements Resetter.
 func (s *Slice) Reset() { s.pos = 0 }
+
+// Err implements ErrSource; an in-memory trace cannot fail.
+func (s *Slice) Err() error { return nil }
 
 // Collect drains a source into memory (up to max records; max <= 0 means
 // no limit). Useful for tests and for persisting synthetic traces.
@@ -154,6 +180,9 @@ func (f *ForceThread) Reset() {
 	}
 }
 
+// Err implements ErrSource, forwarding the wrapped source's error.
+func (f *ForceThread) Err() error { return SourceErr(f.Src) }
+
 // Limit wraps a source, truncating it after n records.
 type Limit struct {
 	Src Source
@@ -180,3 +209,8 @@ func (l *Limit) Reset() {
 		r.Reset()
 	}
 }
+
+// Err implements ErrSource, forwarding the wrapped source's error. A
+// source truncated by Limit before its failure point reports nil, like
+// any reader that never reaches the corrupt region.
+func (l *Limit) Err() error { return SourceErr(l.Src) }

@@ -83,3 +83,15 @@ func (iv *Interleaved) Reset() {
 	iv.cur = 0
 	iv.used = 0
 }
+
+// Err implements trace.ErrSource: the interleaved stream fails if any
+// thread's source failed. A thread dropping out on a decode error would
+// otherwise be indistinguishable from one that simply ran dry.
+func (iv *Interleaved) Err() error {
+	for _, s := range iv.srcs {
+		if err := trace.SourceErr(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
