@@ -3,9 +3,11 @@
 //
 // Usage:
 //
-//	ev8bench [-experiment all|table1|table2|fig5|...|ablations|perf|smt|backup]
+//	ev8bench [-experiment all|none|table1|table2|fig5|...|ablations|perf|smt|backup]
 //	         [-instructions N] [-benchmarks gcc,go,...] [-o report.txt]
-//	         [-j workers] [-v] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//	         [-j workers] [-v] [-stats] [-json stats.json] [-csv stats.csv]
+//	         [-expvar localhost:8080]
+//	         [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // The default regenerates everything over 10M synthetic instructions per
 // benchmark (the paper uses 100M; pass -instructions 100000000 for the
@@ -13,9 +15,17 @@
 // benchmark — run in parallel across the CPUs (-j 1 forces the serial
 // debugging path); the report is byte-identical for every -j. -v prints a
 // cells/throughput progress counter to stderr.
+//
+// -stats runs the component-attribution suite: the default EV8 predictor
+// over every selected benchmark with collection enabled, emitted as JSON
+// (to the report stream, or to -json FILE) and optionally as CSV (-csv
+// FILE); docs/OBSERVABILITY.md documents the counters and the schema.
+// "-experiment none -stats" emits the attribution JSON alone. -expvar
+// serves live progress counters over HTTP for long runs.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -26,8 +36,13 @@ import (
 	"sync"
 	"time"
 
+	"ev8pred/internal/ev8"
 	"ev8pred/internal/experiments"
+	"ev8pred/internal/frontend"
+	"ev8pred/internal/predictor"
+	"ev8pred/internal/report"
 	"ev8pred/internal/sim"
+	"ev8pred/internal/stats/live"
 	"ev8pred/internal/workload"
 )
 
@@ -84,12 +99,16 @@ func (pc *progressCounter) observe(ev sim.CellDone) {
 func run(args []string, out, errw io.Writer) error {
 	fs := flag.NewFlagSet("ev8bench", flag.ContinueOnError)
 	var (
-		experiment   = fs.String("experiment", "all", "experiment id or 'all'; one of "+strings.Join(experiments.IDs(), ","))
+		experiment   = fs.String("experiment", "all", "experiment id, 'all', or 'none' (skip the tables); one of "+strings.Join(experiments.IDs(), ","))
 		instructions = fs.Int64("instructions", 10_000_000, "synthetic instructions per benchmark")
 		benchmarks   = fs.String("benchmarks", "", "comma-separated benchmark subset (default: all eight)")
 		outPath      = fs.String("o", "", "write the report to this file instead of stdout")
 		workers      = fs.Int("j", 0, "parallel simulation cells (0 = one per CPU, 1 = serial)")
 		verbose      = fs.Bool("v", false, "print a progress/throughput counter to stderr")
+		statsSuite   = fs.Bool("stats", false, "run the EV8 component-attribution suite and emit it as JSON")
+		jsonPath     = fs.String("json", "", "write the -stats JSON to this file instead of the report stream")
+		csvPath      = fs.String("csv", "", "also write the -stats records as CSV to this file")
+		expvarAddr   = fs.String("expvar", "", "serve live expvar progress counters on this address (e.g. localhost:8080)")
 		cpuProfile   = fs.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
 		memProfile   = fs.String("memprofile", "", "write an allocation profile to this file at exit")
 	)
@@ -145,11 +164,29 @@ func run(args []string, out, errw io.Writer) error {
 		counter = newProgressCounter(errw)
 		cfg.Progress = counter.observe
 	}
+	if *expvarAddr != "" {
+		lv := live.New("ev8bench")
+		addr, err := live.ServeDebug(*expvarAddr)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(errw, "ev8bench: live counters at http://%s/debug/vars\n", addr)
+		prev := cfg.Progress
+		cfg.Progress = func(ev sim.CellDone) {
+			if prev != nil {
+				prev(ev)
+			}
+			lv.Observe(ev.Total, ev.Branches, ev.Instructions)
+		}
+	}
 
 	var todo []experiments.Experiment
-	if *experiment == "all" {
+	switch *experiment {
+	case "all":
 		todo = experiments.All()
-	} else {
+	case "none":
+		// Table generation skipped; useful with -stats for pure JSON runs.
+	default:
 		e, err := experiments.ByID(*experiment)
 		if err != nil {
 			return err
@@ -171,8 +208,12 @@ func run(args []string, out, errw io.Writer) error {
 		w = f
 	}
 
-	fmt.Fprintf(w, "ev8bench: %d experiments, %d instructions/benchmark, %d benchmarks\n\n",
-		len(todo), cfg.Instructions, len(cfg.Benchmarks))
+	// The banner is suppressed when no tables will print so that
+	// "-experiment none -stats" leaves pure JSON on the report stream.
+	if len(todo) > 0 {
+		fmt.Fprintf(w, "ev8bench: %d experiments, %d instructions/benchmark, %d benchmarks\n\n",
+			len(todo), cfg.Instructions, len(cfg.Benchmarks))
+	}
 	total := time.Now()
 	for _, e := range todo {
 		if counter != nil {
@@ -190,6 +231,44 @@ func run(args []string, out, errw io.Writer) error {
 		}
 		fmt.Fprintf(w, "  (%.1fs)\n\n", time.Since(start).Seconds())
 	}
+	if *statsSuite {
+		if counter != nil {
+			counter.setScope("stats")
+		}
+		runs, err := runStatsSuite(cfg)
+		if err != nil {
+			return err
+		}
+		jw := w
+		if *jsonPath != "" {
+			f, err := os.Create(*jsonPath)
+			if err != nil {
+				return err
+			}
+			defer func() {
+				if cerr := f.Close(); cerr != nil {
+					fmt.Fprintln(os.Stderr, "ev8bench: closing json:", cerr)
+				}
+			}()
+			jw = f
+		}
+		if err := report.WriteJSON(jw, runs); err != nil {
+			return err
+		}
+		if *csvPath != "" {
+			f, err := os.Create(*csvPath)
+			if err != nil {
+				return err
+			}
+			werr := report.WriteCSV(f, runs)
+			if cerr := f.Close(); werr == nil && cerr != nil {
+				werr = fmt.Errorf("closing csv: %w", cerr)
+			}
+			if werr != nil {
+				return werr
+			}
+		}
+	}
 	if counter != nil {
 		counter.mu.Lock()
 		cells, branches := counter.cells, counter.branches
@@ -203,6 +282,21 @@ func run(args []string, out, errw io.Writer) error {
 			cells, float64(branches)/1e6, rate/1e6, elapsed, effectiveWorkers(*workers))
 	}
 	return nil
+}
+
+// runStatsSuite runs the default EV8 predictor over every selected
+// benchmark with component-attribution collection enabled (Options.Collect)
+// and returns the machine-readable records — the -stats payload.
+func runStatsSuite(cfg experiments.Config) ([]report.Run, error) {
+	factory := func() (predictor.Predictor, error) { return ev8.New(ev8.DefaultConfig()) }
+	opts := sim.Options{Mode: frontend.ModeEV8(), Collect: true}
+	results, err := sim.RunCells(context.Background(),
+		sim.SuiteCells(factory, cfg.Benchmarks, opts), cfg.Instructions,
+		sim.PoolOptions{Workers: cfg.Workers, Progress: cfg.Progress})
+	if err != nil {
+		return nil, fmt.Errorf("stats suite: %w", err)
+	}
+	return report.FromResults(results), nil
 }
 
 // effectiveWorkers resolves the -j default for the summary line.

@@ -1,0 +1,102 @@
+package main
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ev8pred/internal/report"
+)
+
+// TestStatsSuiteEmitsJSON is the acceptance path: "-experiment none
+// -stats" must leave nothing but a valid JSON array of per-benchmark EV8
+// records on the report stream, each carrying the component-attribution
+// counters (bank vote outcomes, metapredictor overrules, partial/full
+// update classification).
+func TestStatsSuiteEmitsJSON(t *testing.T) {
+	var sb, eb strings.Builder
+	err := run([]string{
+		"-experiment", "none", "-stats", "-instructions", "100000",
+	}, &sb, &eb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var runs []report.Run
+	if err := json.Unmarshal([]byte(sb.String()), &runs); err != nil {
+		t.Fatalf("-stats output is not valid JSON: %v\n%s", err, sb.String())
+	}
+	if len(runs) != 8 {
+		t.Fatalf("got %d records, want one per benchmark (8)", len(runs))
+	}
+	for _, r := range runs {
+		if r.Predictor != "EV8-352Kbit" {
+			t.Errorf("%s: predictor = %q", r.Workload, r.Predictor)
+		}
+		if len(r.Stats) == 0 {
+			t.Fatalf("%s: no attribution counters", r.Workload)
+		}
+		m := r.Stats.Map()
+		for _, want := range []string{
+			"bank_wrong_on_misp_BIM", "bank_wrong_on_misp_G0",
+			"bank_wrong_on_misp_G1", "bank_wrong_on_misp_Meta",
+			"meta_overrule_wins", "meta_overrule_losses",
+			"update_correct_strengthen", "update_misp_retarget", "update_misp_full",
+			"hyst_flips_BIM", "pred_writes_G1", "phys_bank_conflicts",
+		} {
+			if _, ok := m[want]; !ok {
+				t.Errorf("%s: counter %q missing", r.Workload, want)
+			}
+		}
+		if m["updates"] != r.Branches {
+			t.Errorf("%s: updates = %d, branches = %d", r.Workload, m["updates"], r.Branches)
+		}
+		if m["phys_bank_conflicts"] != 0 {
+			t.Errorf("%s: §6.2 bank discipline violated: %d conflicts",
+				r.Workload, m["phys_bank_conflicts"])
+		}
+	}
+}
+
+// TestStatsSuiteFiles routes the JSON to -json and the CSV to -csv.
+func TestStatsSuiteFiles(t *testing.T) {
+	dir := t.TempDir()
+	jsonPath := filepath.Join(dir, "stats.json")
+	csvPath := filepath.Join(dir, "stats.csv")
+	var sb, eb strings.Builder
+	err := run([]string{
+		"-experiment", "none", "-stats", "-benchmarks", "li,gcc",
+		"-instructions", "100000", "-json", jsonPath, "-csv", csvPath,
+	}, &sb, &eb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sb.Len() != 0 {
+		t.Errorf("-json should redirect the records off the report stream: %q", sb.String())
+	}
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var runs []report.Run
+	if err := json.Unmarshal(data, &runs); err != nil {
+		t.Fatalf("json file invalid: %v", err)
+	}
+	if len(runs) != 2 {
+		t.Errorf("got %d records, want 2", len(runs))
+	}
+	cf, err := os.Open(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cf.Close()
+	rows, err := csv.NewReader(cf).ReadAll()
+	if err != nil {
+		t.Fatalf("csv file invalid: %v", err)
+	}
+	if len(rows) != 3 {
+		t.Errorf("csv rows = %d, want header + 2", len(rows))
+	}
+}

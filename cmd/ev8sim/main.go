@@ -5,7 +5,12 @@
 //
 //	ev8sim [-predictors ev8,2bcg512,gshare,...] [-benchmarks gcc,go|-trace file]
 //	       [-instructions N] [-mode ev8|ghist|lghist|lghist-nopath|old-lghist]
-//	       [-threads N] [-quantum N]
+//	       [-threads N] [-quantum N] [-stats] [-json results.json]
+//
+// -stats enables component-attribution collection (see
+// docs/OBSERVABILITY.md) for predictors that support it; -json emits the
+// results — including any attribution counters — as machine-readable
+// JSON to the given file ("-" for stdout, replacing the table).
 //
 // Examples:
 //
@@ -100,6 +105,8 @@ func run(args []string, out io.Writer) error {
 		modeName     = fs.String("mode", "ev8", "information vector: ev8|ghist|lghist|lghist-nopath|old-lghist")
 		threads      = fs.Int("threads", 1, "SMT: interleave N copies of each benchmark")
 		quantum      = fs.Int64("quantum", 1000, "SMT: instructions per thread switch")
+		collect      = fs.Bool("stats", false, "collect component-attribution counters (predictors that support them)")
+		jsonPath     = fs.String("json", "", "emit results as JSON to this file ('-' = stdout, replacing the table)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -109,7 +116,7 @@ func run(args []string, out io.Writer) error {
 	if !ok {
 		return fmt.Errorf("unknown mode %q", *modeName)
 	}
-	opts := sim.Options{Mode: mode}
+	opts := sim.Options{Mode: mode, Collect: *collect}
 
 	var names []string
 	for _, n := range strings.Split(*predictors, ",") {
@@ -124,6 +131,7 @@ func run(args []string, out io.Writer) error {
 
 	tbl := report.New("ev8sim results",
 		"workload", "predictor", "size Kbits", "misp/KI", "accuracy%", "branches")
+	var results []sim.Result
 
 	if *traceFile != "" {
 		// Decode once (gzip-transparent), replay per predictor.
@@ -150,9 +158,10 @@ func run(args []string, out io.Writer) error {
 				return err
 			}
 			r.Workload = *traceFile
+			results = append(results, r)
 			addRow(tbl, r)
 		}
-		return tbl.Fprint(out)
+		return emit(tbl, results, *jsonPath, out)
 	}
 
 	var profs []workload.Profile
@@ -197,10 +206,36 @@ func run(args []string, out io.Writer) error {
 			if r.Workload == "" {
 				r.Workload = prof.Name
 			}
+			results = append(results, r)
 			addRow(tbl, r)
 		}
 	}
-	return tbl.Fprint(out)
+	return emit(tbl, results, *jsonPath, out)
+}
+
+// emit prints the table and, when -json was given, the machine-readable
+// records: "-" replaces the table on stdout, any other path gets the JSON
+// alongside the printed table.
+func emit(tbl *report.Table, results []sim.Result, jsonPath string, out io.Writer) error {
+	runs := report.FromResults(results)
+	if jsonPath == "-" {
+		return report.WriteJSON(out, runs)
+	}
+	if err := tbl.Fprint(out); err != nil {
+		return err
+	}
+	if jsonPath == "" {
+		return nil
+	}
+	f, err := os.Create(jsonPath)
+	if err != nil {
+		return err
+	}
+	werr := report.WriteJSON(f, runs)
+	if cerr := f.Close(); werr == nil && cerr != nil {
+		werr = fmt.Errorf("closing json: %w", cerr)
+	}
+	return werr
 }
 
 func addRow(tbl *report.Table, r sim.Result) {

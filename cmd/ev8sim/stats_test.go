@@ -1,0 +1,72 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"ev8pred/internal/report"
+)
+
+// TestRunJSONWithStats pins the -stats/-json pairing: "-json -" replaces
+// the table with a JSON array, and -stats attaches attribution counters
+// for predictors that support them while leaving the rest bare.
+func TestRunJSONWithStats(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{
+		"-predictors", "gshare,bimodal",
+		"-benchmarks", "li",
+		"-instructions", "200000",
+		"-mode", "ghist",
+		"-stats", "-json", "-",
+	}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var runs []report.Run
+	if err := json.Unmarshal([]byte(sb.String()), &runs); err != nil {
+		t.Fatalf("-json - output is not valid JSON: %v\n%s", err, sb.String())
+	}
+	if len(runs) != 2 {
+		t.Fatalf("got %d records, want 2", len(runs))
+	}
+	byName := map[string]report.Run{}
+	for _, r := range runs {
+		byName[r.Predictor] = r
+	}
+	g, ok := byName["gshare-1024Kx2bit-h20"]
+	if !ok {
+		t.Fatalf("gshare record missing: %v", byName)
+	}
+	if v, found := g.Stats.Get("misp_weak_counter"); !found || v < 0 {
+		t.Errorf("gshare attribution missing: %v %v", v, found)
+	}
+	for name, r := range byName {
+		if strings.HasPrefix(name, "bimodal") && r.Stats != nil {
+			t.Errorf("bimodal is uninstrumented but has stats: %+v", r.Stats)
+		}
+	}
+}
+
+// TestRunJSONWithoutStats keeps the table and adds the JSON file only
+// when asked; without -stats the records carry no counters.
+func TestRunJSONWithoutStats(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{
+		"-predictors", "gshare",
+		"-benchmarks", "li",
+		"-instructions", "100000",
+		"-mode", "ghist",
+		"-json", "-",
+	}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var runs []report.Run
+	if err := json.Unmarshal([]byte(sb.String()), &runs); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(runs) != 1 || runs[0].Stats != nil {
+		t.Errorf("expected one bare record, got %+v", runs)
+	}
+}

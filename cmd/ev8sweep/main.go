@@ -15,6 +15,11 @@
 // information vector. Every (value × benchmark) cell runs in parallel
 // across the CPUs (-j 1 forces the serial path); the table is
 // byte-identical for every -j.
+//
+// -stats collects component-attribution counters per cell (predictors
+// that support them; see docs/OBSERVABILITY.md); -json emits every cell
+// as a machine-readable record to the given file ("-" for stdout,
+// replacing the table).
 package main
 
 import (
@@ -30,6 +35,7 @@ import (
 	"ev8pred/internal/predictor"
 	"ev8pred/internal/predictor/gshare"
 	"ev8pred/internal/predictor/perceptron"
+	"ev8pred/internal/report"
 	"ev8pred/internal/sim"
 	"ev8pred/internal/sweep"
 	"ev8pred/internal/workload"
@@ -53,6 +59,8 @@ func run(args []string, out io.Writer) error {
 		instructions = fs.Int64("instructions", 5_000_000, "instructions per benchmark")
 		modeName     = fs.String("mode", "ghist", "information vector: ghist|lghist|ev8")
 		workers      = fs.Int("j", 0, "parallel simulation cells (0 = one per CPU, 1 = serial)")
+		collect      = fs.Bool("stats", false, "collect component-attribution counters (predictors that support them)")
+		jsonPath     = fs.String("json", "", "emit per-cell results as JSON to this file ('-' = stdout, replacing the table)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -95,13 +103,39 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
-	pts, err := sweep.Run(factory, xs, profsList, *instructions, sim.Options{Mode: mode, Workers: *workers})
+	pts, err := sweep.Run(factory, xs, profsList, *instructions,
+		sim.Options{Mode: mode, Workers: *workers, Collect: *collect})
 	if err != nil {
 		return err
 	}
 	title := fmt.Sprintf("%s sweep: %s (%s info vector, %d instr/bench)",
 		*scheme, *param, *modeName, *instructions)
-	return sweep.Table(title, *param, pts).Fprint(out)
+	tbl := sweep.Table(title, *param, pts)
+
+	var runs []report.Run
+	if *jsonPath != "" {
+		for _, p := range pts {
+			runs = append(runs, report.FromResults(p.Results)...)
+		}
+	}
+	if *jsonPath == "-" {
+		return report.WriteJSON(out, runs)
+	}
+	if err := tbl.Fprint(out); err != nil {
+		return err
+	}
+	if *jsonPath == "" {
+		return nil
+	}
+	f, err := os.Create(*jsonPath)
+	if err != nil {
+		return err
+	}
+	werr := report.WriteJSON(f, runs)
+	if cerr := f.Close(); werr == nil && cerr != nil {
+		werr = fmt.Errorf("closing json: %w", cerr)
+	}
+	return werr
 }
 
 // buildFactory maps (scheme, param) to a family constructor.
@@ -142,11 +176,4 @@ func buildFactory(scheme, param string) (sweep.Factory, error) {
 	default:
 		return nil, fmt.Errorf("unsupported scheme/param %s/%s", scheme, param)
 	}
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

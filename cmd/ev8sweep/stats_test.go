@@ -1,0 +1,39 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"ev8pred/internal/report"
+)
+
+// TestSweepJSONWithStats runs a one-point gshare sweep with attribution
+// and checks the machine-readable emission: one record per (value ×
+// benchmark) cell, counters attached.
+func TestSweepJSONWithStats(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{
+		"-scheme", "gshare", "-param", "history", "-values", "8,12",
+		"-benchmarks", "li", "-instructions", "200000",
+		"-stats", "-json", "-",
+	}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var runs []report.Run
+	if err := json.Unmarshal([]byte(sb.String()), &runs); err != nil {
+		t.Fatalf("-json - output is not valid JSON: %v\n%s", err, sb.String())
+	}
+	if len(runs) != 2 {
+		t.Fatalf("got %d records, want 2 (2 values x 1 benchmark)", len(runs))
+	}
+	for _, r := range runs {
+		if r.Workload != "li" {
+			t.Errorf("workload = %q", r.Workload)
+		}
+		if v, ok := r.Stats.Get("updates"); !ok || v != r.Branches {
+			t.Errorf("%s: updates = %d (ok=%v), branches = %d", r.Predictor, v, ok, r.Branches)
+		}
+	}
+}

@@ -1,0 +1,107 @@
+package ev8pred_test
+
+// Differential test for the observability layer's zero-perturbation
+// contract: running any predictor with Options.Collect on must produce a
+// Result whose core fields are byte-identical to the same run with
+// Collect off — attribution may only ever ADD the Stats snapshot, never
+// change a prediction or a count (docs/OBSERVABILITY.md).
+
+import (
+	"testing"
+
+	"ev8pred"
+	"ev8pred/internal/stats"
+)
+
+// TestCollectDoesNotPerturbResults runs every roster predictor over every
+// benchmark twice — Collect off, Collect on — and compares the Results
+// with == after detaching the Stats pointer, which is the only field
+// allowed to differ.
+func TestCollectDoesNotPerturbResults(t *testing.T) {
+	for _, tc := range fusedRoster() {
+		t.Run(tc.name, func(t *testing.T) {
+			for _, prof := range ev8pred.Benchmarks() {
+				run := func(collect bool) ev8pred.Result {
+					p, err := tc.make()
+					if err != nil {
+						t.Fatal(err)
+					}
+					r, err := ev8pred.RunBenchmark(p, prof, 100_000,
+						ev8pred.Options{Mode: tc.mode, Collect: collect})
+					if err != nil {
+						t.Fatal(err)
+					}
+					return r
+				}
+				off := run(false)
+				on := run(true)
+				_, instrumented := mustMake(t, tc).(stats.Instrumented)
+				if instrumented && on.Stats == nil {
+					t.Fatalf("%s/%s: instrumented predictor returned no Stats under Collect",
+						tc.name, prof.Name)
+				}
+				if !instrumented && on.Stats != nil {
+					t.Fatalf("%s/%s: uninstrumented predictor grew Stats", tc.name, prof.Name)
+				}
+				if off.Stats != nil {
+					t.Fatalf("%s/%s: Stats populated without Collect", tc.name, prof.Name)
+				}
+				core := on
+				core.Stats = nil
+				if core != off {
+					t.Errorf("%s/%s: Collect changed the Result:\n off %+v\n  on %+v",
+						tc.name, prof.Name, off, core)
+				}
+				if off.Branches == 0 {
+					t.Errorf("%s/%s: degenerate run (0 branches)", tc.name, prof.Name)
+				}
+			}
+		})
+	}
+}
+
+// TestCollectedCountersAreConsistent cross-checks the attribution against
+// the Result it annotates: under immediate update with no warmup, every
+// measured branch is one attributed update, and the update-time
+// misprediction count must equal the simulator's.
+func TestCollectedCountersAreConsistent(t *testing.T) {
+	for _, tc := range fusedRoster() {
+		p := mustMake(t, tc)
+		if _, ok := p.(stats.Instrumented); !ok {
+			continue
+		}
+		t.Run(tc.name, func(t *testing.T) {
+			prof, err := ev8pred.BenchmarkByName("gcc")
+			if err != nil {
+				t.Fatal(err)
+			}
+			r, err := ev8pred.RunBenchmark(mustMake(t, tc), prof, 100_000,
+				ev8pred.Options{Mode: tc.mode, Collect: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			m := r.Stats.Map()
+			if got := m["updates"]; got != r.Branches {
+				t.Errorf("updates = %d, want %d (one per branch)", got, r.Branches)
+			}
+			if got := m["mispredicts"]; got != r.Mispredicts {
+				t.Errorf("stats mispredicts = %d, Result.Mispredicts = %d", got, r.Mispredicts)
+			}
+			for _, c := range *r.Stats {
+				if c.Value < 0 {
+					t.Errorf("counter %s is negative: %d", c.Name, c.Value)
+				}
+			}
+		})
+	}
+}
+
+// mustMake builds a fresh roster predictor or fails the test.
+func mustMake(t *testing.T, tc fusedCase) ev8pred.Predictor {
+	t.Helper()
+	p, err := tc.make()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}

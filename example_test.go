@@ -75,7 +75,10 @@ func ExampleRunFrontEnd() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	est := ev8pred.EstimatePerf(ev8pred.PerfEV8(), r)
+	est, err := ev8pred.EstimatePerf(ev8pred.PerfEV8(), r)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Println("returns predicted by the RAS:", r.RASAccuracy > 0.99)
 	fmt.Println("IPC within machine limits:", est.IPC > 0 && est.IPC <= 8)
 	// Output:

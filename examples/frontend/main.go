@@ -27,7 +27,10 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		est := ev8pred.EstimatePerf(model, r)
+		est, err := ev8pred.EstimatePerf(model, r)
+		if err != nil {
+			log.Fatal(err)
+		}
 		fmt.Printf("%-16s cond misp/KI %6.2f | jump acc %5.1f%% | RAS acc %5.1f%% | line acc %5.1f%% | est IPC %.2f\n",
 			name, r.MispKI(), 100*r.JumpAccuracy, 100*r.RASAccuracy, 100*r.LineAccuracy, est.IPC)
 	}

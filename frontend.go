@@ -43,8 +43,11 @@ func RunFrontEndBenchmark(p Predictor, prof Profile, instructions int64, opts Op
 	return sim.RunFrontEndBenchmark(p, prof, instructions, opts, fecfg)
 }
 
-// EstimatePerf applies a performance model to a front-end run.
-func EstimatePerf(m PerfModel, r FrontEndResult) PerfReport {
+// EstimatePerf applies a performance model to a front-end run. It returns
+// an error for degenerate inputs — instructions retired but zero cycles
+// attributable to them — so a Report with a nil error is always internally
+// consistent (IPC == Instructions/Cycles, no NaN/Inf); see internal/perf.
+func EstimatePerf(m PerfModel, r FrontEndResult) (PerfReport, error) {
 	return m.Estimate(perf.Inputs{
 		Instructions: r.Instructions,
 		Blocks:       r.Blocks,

@@ -96,6 +96,10 @@ type Predictor struct {
 	cfg   Config
 	banks [NumBanks]*counter.Split
 	name  string
+	// st holds the attribution counters when collection is enabled
+	// (stats.Instrumented); nil — the default — keeps the update path
+	// attribution-free apart from this one pointer check.
+	st *coreStats
 }
 
 // New validates cfg and builds the predictor.
@@ -268,10 +272,23 @@ func (p *Predictor) UpdateWith(s predictor.Snapshot, taken bool) {
 }
 
 // updateAt applies the configured update policy at the given indices.
+// Attribution (package stats) hangs off this single gate: one nil check
+// when disabled, the instrumented twin — identical writes, wrapped in
+// counting — when enabled.
 func (p *Predictor) updateAt(idx [NumBanks]uint64, taken bool) {
 	pbim, p0, p1, pmeta := p.lookup(idx)
 	final, egskew := combine(pbim, p0, p1, pmeta)
+	if p.st != nil {
+		p.updateAtInstrumented(idx, pbim, p0, p1, pmeta, final, egskew, taken)
+		return
+	}
+	p.applyUpdate(idx, pbim, p0, p1, pmeta, final, egskew, taken)
+}
 
+// applyUpdate performs the policy writes for one branch. It is the single
+// write path shared by the plain and instrumented updates, so attribution
+// can never diverge from the machine it observes.
+func (p *Predictor) applyUpdate(idx [NumBanks]uint64, pbim, p0, p1, pmeta, final, egskew, taken bool) {
 	if !p.cfg.PartialUpdate {
 		// Total update ablation: step everything toward the outcome,
 		// and the chooser toward whichever side was correct.
@@ -414,10 +431,15 @@ func (p *Predictor) Traffic() (predWrites, hystWrites, hystReads int64) {
 // Config returns the predictor's configuration (with defaults resolved).
 func (p *Predictor) Config() Config { return p.cfg }
 
-// Reset implements predictor.Predictor.
+// Reset implements predictor.Predictor. Attribution counters are zeroed
+// too, but collection stays enabled if it was (a reused predictor keeps
+// reporting).
 func (p *Predictor) Reset() {
 	for b := BIM; b < NumBanks; b++ {
 		p.banks[b].Reset()
+	}
+	if p.st != nil {
+		*p.st = coreStats{}
 	}
 }
 

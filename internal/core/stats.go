@@ -1,0 +1,190 @@
+package core
+
+// Component attribution for 2Bc-gskew (stats.Instrumented): per-bank vote
+// outcomes on mispredictions, metapredictor arbitration wins/losses,
+// partial-vs-full update classification, and per-bank counter-state flips
+// as an aliasing-pressure estimate. This is the measurement substrate the
+// paper's §4 arguments are made of: which bank costs a misprediction, how
+// often the chooser saves the day, and how much write traffic the partial
+// update policy avoids.
+//
+// Everything here runs only when EnableStats(true) was called; the plain
+// update path pays a single nil check (see updateAt). Attribution never
+// changes a prediction or a counter write.
+
+import (
+	"ev8pred/internal/counter"
+	"ev8pred/internal/stats"
+)
+
+// coreStats accumulates the attribution counters. Votes are observed at
+// update time, against update-time counter state — identical to the
+// prediction-time votes under immediate update (nothing trains between
+// Lookup and UpdateWith), and the honest hardware-eye view under commit
+// delay, where an aliased entry may have been retrained in between.
+type coreStats struct {
+	updates     int64
+	mispredicts int64
+
+	// Per voting bank (BIM, G0, G1): voted against the outcome on a
+	// final misprediction / voted wrong but the combination absorbed it.
+	bankWrongOnMisp   [3]int64
+	bankWrongAbsorbed [3]int64
+
+	// Metapredictor arbitration: counted only when BIM and the e-gskew
+	// majority disagree, i.e. when Meta's choice decides the prediction.
+	metaArbitrations int64
+	metaSelectVote   int64
+	metaWins         int64
+	metaLosses       int64
+
+	// Update-kind classification (§4.2): Rationale-1 no-op, correct
+	// strengthen-only, misprediction with chooser retarget attempt,
+	// misprediction training all banks, and the total-update ablation.
+	correctNone       int64
+	correctStrengthen int64
+	mispRetarget      int64
+	mispFull          int64
+	totalPolicy       int64
+
+	// Counter-state transitions per bank, from before/after snapshots of
+	// the touched entries: a prediction-bit flip means an entry was
+	// dragged to the other direction (the destructive-aliasing signature
+	// of §4.1), a hysteresis flip is the §4.3–4.4 shared-bit churn.
+	predFlips [NumBanks]int64
+	hystFlips [NumBanks]int64
+}
+
+// EnableStats implements stats.Instrumented. Enabling allocates the
+// counter block once; disabling drops it (and its counts). Reset zeroes
+// the counters but keeps collection enabled, so a reused predictor keeps
+// reporting.
+func (p *Predictor) EnableStats(on bool) {
+	switch {
+	case on && p.st == nil:
+		p.st = &coreStats{}
+	case !on:
+		p.st = nil
+	}
+}
+
+// strong reports whether a classical 2-bit state has its hysteresis
+// (strength) bit set in the split encoding.
+func strong(s uint8) bool {
+	return s == counter.StrongNotTaken || s == counter.StrongTaken
+}
+
+// updateAtInstrumented is the attribution twin of the plain update path:
+// it records vote outcomes, arbitration results and the update-kind
+// class, applies the identical policy writes, then diffs the touched
+// counter states for flip accounting.
+func (p *Predictor) updateAtInstrumented(idx [NumBanks]uint64, pbim, p0, p1, pmeta, final, egskew, taken bool) {
+	st := p.st
+	var before [NumBanks]uint8
+	for b := BIM; b < NumBanks; b++ {
+		before[b] = p.banks[b].State(idx[b])
+	}
+
+	st.updates++
+	misp := final != taken
+	if misp {
+		st.mispredicts++
+	}
+	for k, v := range [3]bool{pbim, p0, p1} {
+		if v != taken {
+			if misp {
+				st.bankWrongOnMisp[k]++
+			} else {
+				st.bankWrongAbsorbed[k]++
+			}
+		}
+	}
+	if pbim != egskew {
+		// Meta's vote decided the prediction; under the combination rule
+		// the chosen side IS the final prediction, so a loss here is a
+		// misprediction the other component would have avoided.
+		st.metaArbitrations++
+		if pmeta {
+			st.metaSelectVote++
+		}
+		if misp {
+			st.metaLosses++
+		} else {
+			st.metaWins++
+		}
+	}
+	switch {
+	case !p.cfg.PartialUpdate:
+		st.totalPolicy++
+	case !misp && pbim == p0 && p0 == p1:
+		st.correctNone++
+	case !misp:
+		st.correctStrengthen++
+	case pbim != egskew:
+		st.mispRetarget++
+	default:
+		st.mispFull++
+	}
+
+	p.applyUpdate(idx, pbim, p0, p1, pmeta, final, egskew, taken)
+
+	for b := BIM; b < NumBanks; b++ {
+		after := p.banks[b].State(idx[b])
+		if (before[b] >= counter.WeakTaken) != (after >= counter.WeakTaken) {
+			st.predFlips[b]++
+		}
+		if strong(before[b]) != strong(after) {
+			st.hystFlips[b]++
+		}
+	}
+}
+
+// votingBanks are the banks whose direction bit participates in the
+// prediction (Meta arbitrates, it does not vote a direction).
+var votingBanks = [3]Bank{BIM, G0, G1}
+
+// Stats implements stats.Instrumented: a stable-order snapshot of the
+// attribution counters, nil when collection is disabled. The per-bank
+// write/read traffic (counter.Split's unconditional accounting) rides
+// along so one snapshot carries the full §4.3 traffic argument.
+func (p *Predictor) Stats() stats.Counters {
+	if p.st == nil {
+		return nil
+	}
+	st := p.st
+	cs := make(stats.Counters, 0, 48)
+	cs.Add("updates", st.updates)
+	cs.Add("mispredicts", st.mispredicts)
+	for k, b := range votingBanks {
+		cs.Add("bank_wrong_on_misp_"+b.String(), st.bankWrongOnMisp[k])
+	}
+	cs.Add("bank_wrong_on_misp_Meta", st.metaLosses)
+	for k, b := range votingBanks {
+		cs.Add("bank_wrong_absorbed_"+b.String(), st.bankWrongAbsorbed[k])
+	}
+	cs.Add("meta_arbitrations", st.metaArbitrations)
+	cs.Add("meta_select_vote", st.metaSelectVote)
+	cs.Add("meta_select_bim", st.metaArbitrations-st.metaSelectVote)
+	cs.Add("meta_overrule_wins", st.metaWins)
+	cs.Add("meta_overrule_losses", st.metaLosses)
+	cs.Add("update_correct_none", st.correctNone)
+	cs.Add("update_correct_strengthen", st.correctStrengthen)
+	cs.Add("update_misp_retarget", st.mispRetarget)
+	cs.Add("update_misp_full", st.mispFull)
+	cs.Add("update_total_policy", st.totalPolicy)
+	for b := BIM; b < NumBanks; b++ {
+		n := b.String()
+		cs.Add("pred_flips_"+n, st.predFlips[b])
+		cs.Add("hyst_flips_"+n, st.hystFlips[b])
+	}
+	for b := BIM; b < NumBanks; b++ {
+		pw, hw, hr := p.banks[b].Traffic()
+		n := b.String()
+		cs.Add("pred_writes_"+n, pw)
+		cs.Add("hyst_writes_"+n, hw)
+		cs.Add("hyst_reads_"+n, hr)
+	}
+	return cs
+}
+
+var _ stats.Instrumented = (*Predictor)(nil)

@@ -7,6 +7,7 @@ import (
 	"ev8pred/internal/frontend"
 	"ev8pred/internal/history"
 	"ev8pred/internal/predictor"
+	"ev8pred/internal/stats"
 )
 
 // Config parameterizes the EV8 predictor build.
@@ -178,6 +179,29 @@ func (p *Predictor) Components(info *history.Info) (pbim, p0, p1, pmeta, final b
 	return p.core.Components(info)
 }
 
+// EnableStats implements stats.Instrumented by delegating to the core
+// machine; the EV8 wrapper itself adds no hot-path cost.
+func (p *Predictor) EnableStats(on bool) { p.core.EnableStats(on) }
+
+// Stats implements stats.Instrumented: the core 2Bc-gskew attribution
+// counters plus the §6 bank-scheduling observations this wrapper already
+// collects unconditionally (physical-bank usage, successive-block
+// conflicts — which the §6.2 discipline must keep at zero — and the
+// two-block fetch-cycle count).
+func (p *Predictor) Stats() stats.Counters {
+	cs := p.core.Stats()
+	if cs == nil {
+		return nil
+	}
+	cs.Add("blocks_observed", p.blocksSeen)
+	cs.Add("phys_bank_conflicts", p.bankConflicts)
+	for k, n := range p.bankUse {
+		cs.Add(fmt.Sprintf("phys_bank_use_%d", k), n)
+	}
+	cs.Add("fetch_cycles", p.cycles)
+	return cs
+}
+
 // Name implements predictor.Predictor.
 func (p *Predictor) Name() string { return p.name }
 
@@ -205,6 +229,7 @@ func (p *Predictor) Reset() {
 
 var _ predictor.Predictor = (*Predictor)(nil)
 var _ predictor.FusedPredictor = (*Predictor)(nil)
+var _ stats.Instrumented = (*Predictor)(nil)
 
 // snapRingDepth bounds how many prediction-time snapshots can be in
 // flight between Predict and its matching unfused Update. 64 comfortably

@@ -60,7 +60,7 @@ func runPerf(cfg Config) (*report.Table, error) {
 					Blocks:       r.Blocks,
 					PCGen:        r.PCGen,
 					LineMisses:   r.LineMisses,
-				}), nil
+				})
 			})
 		}
 	}

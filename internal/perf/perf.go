@@ -4,8 +4,24 @@
 // 20–25), "the performance of this microprocessor is very dependent on
 // the branch prediction accuracy" (§1). The model is deliberately simple
 // and documented: it charges the fetch pipeline for every PC-generation
-// redirect and for line-predictor slips, and caps throughput at the fetch
-// and issue widths.
+// redirect and for line-predictor slips, and bounds throughput by the
+// fetch and issue widths.
+//
+// # Accounting contract
+//
+// A Report is internally consistent by construction: IPC is always
+// Instructions / Cycles over the same Cycles the Report carries. The
+// issue-width limit is therefore modeled as a cycle FLOOR
+// (Cycles >= Instructions/IssueWidth), never as a post-hoc clamp of IPC
+// alone — clamping IPC while leaving Cycles at the fetch+redirect sum
+// would let the two fields of one Report describe different machines,
+// and Speedup would compare clamped IPCs against unclamped cycle counts.
+//
+// Degenerate inputs are rejected with an error instead of silently
+// reporting IPC = 0: if instructions retired but the model attributes
+// zero cycles to them (Blocks == 0 with no redirect or line costs, or an
+// all-zero Model), there is no machine that executed them, and any
+// downstream ratio (Speedup) would be meaningless. See Estimate.
 package perf
 
 import (
@@ -31,7 +47,9 @@ type Model struct {
 	// with the (correct) PC-address generation: fetch restarts from the
 	// PC-generator result two cycles later (§2, Fig. 1).
 	LinePenalty float64
-	// IssueWidth caps sustained IPC (EV8: 8-wide).
+	// IssueWidth caps sustained IPC (EV8: 8-wide). It is applied as a
+	// cycle floor: a run of N instructions takes at least N/IssueWidth
+	// cycles, whatever the fetch bandwidth suggests.
 	IssueWidth float64
 }
 
@@ -70,6 +88,16 @@ type Inputs struct {
 	LineMisses int64
 }
 
+// validate rejects inputs the model has no defined answer for.
+func (in Inputs) validate() error {
+	s := in.PCGen
+	if in.Instructions < 0 || in.Blocks < 0 || in.LineMisses < 0 ||
+		s.CondMispredicts < 0 || s.JumpMispredicts < 0 || s.RetMispredicts < 0 {
+		return fmt.Errorf("perf: negative event count in %+v", in)
+	}
+	return nil
+}
+
 // Report is the model's output.
 type Report struct {
 	// FetchCycles is the bandwidth-limited base cost.
@@ -78,9 +106,15 @@ type Report struct {
 	RedirectCycles float64
 	// LineCycles is the line-predictor slip cost.
 	LineCycles float64
-	// Cycles is the estimated total.
+	// IssueCycles is the issue-width floor (Instructions/IssueWidth);
+	// 0 when the model has no issue-width limit.
+	IssueCycles float64
+	// Cycles is the estimated total: the fetch + redirect + line sum,
+	// floored at IssueCycles.
 	Cycles float64
-	// IPC is instructions per cycle after the issue-width cap.
+	// IPC is Instructions/Cycles — always over the Cycles above, so the
+	// two fields of one Report describe the same machine. The issue-width
+	// floor guarantees IPC <= IssueWidth.
 	IPC float64
 }
 
@@ -91,7 +125,19 @@ func (r Report) String() string {
 }
 
 // Estimate applies the model.
-func (m Model) Estimate(in Inputs) Report {
+//
+// Degenerate-input contract: a zero-instruction input yields the zero
+// Report (an empty run takes no time and has no meaningful IPC) with no
+// error. An input with Instructions > 0 to which the model attributes
+// zero cycles — Blocks == 0 and no redirect or line events, or an
+// all-zero Model — is an error: reporting IPC = 0 for work that retired
+// would poison every downstream ratio. Negative counts are errors.
+// A Report returned with nil error therefore always has Cycles > 0 and
+// IPC > 0 whenever Instructions > 0, and never contains NaN or Inf.
+func (m Model) Estimate(in Inputs) (Report, error) {
+	if err := in.validate(); err != nil {
+		return Report{}, err
+	}
 	var r Report
 	if in.Blocks > 0 && m.FetchBlocksPerCycle > 0 {
 		r.FetchCycles = float64(in.Blocks) / m.FetchBlocksPerCycle
@@ -107,16 +153,34 @@ func (m Model) Estimate(in Inputs) Report {
 		r.LineCycles = float64(extraLine) * m.LinePenalty
 	}
 	r.Cycles = r.FetchCycles + r.RedirectCycles + r.LineCycles
-	if r.Cycles > 0 {
-		r.IPC = float64(in.Instructions) / r.Cycles
-		if m.IssueWidth > 0 && r.IPC > m.IssueWidth {
-			r.IPC = m.IssueWidth
+	// Issue-width floor: N instructions take at least N/IssueWidth
+	// cycles. Flooring Cycles (rather than clamping IPC) keeps Cycles,
+	// IPC and Speedup mutually consistent when the limit binds.
+	if m.IssueWidth > 0 && in.Instructions > 0 {
+		r.IssueCycles = float64(in.Instructions) / m.IssueWidth
+		if r.Cycles < r.IssueCycles {
+			r.Cycles = r.IssueCycles
 		}
 	}
-	return r
+	if in.Instructions == 0 {
+		return r, nil
+	}
+	if r.Cycles <= 0 {
+		return Report{}, fmt.Errorf(
+			"perf: degenerate input: %d instructions but zero attributed cycles (no fetch blocks, redirects or issue-width limit in model %+v)",
+			in.Instructions, m)
+	}
+	r.IPC = float64(in.Instructions) / r.Cycles
+	return r, nil
 }
 
-// Speedup returns the relative IPC gain of a over b.
+// Speedup returns the relative IPC gain of a over b (a.IPC / b.IPC).
+//
+// Reports produced by Estimate with a nil error have IPC > 0 whenever
+// instructions retired, so the ratio is well defined for any two real
+// runs. For hand-built Reports with b.IPC == 0 the speedup is undefined;
+// Speedup returns 0 as an explicit NaN-free sentinel — a real speedup is
+// always positive, so 0 is unambiguously "undefined", never a value.
 func Speedup(a, b Report) float64 {
 	if b.IPC == 0 {
 		return 0

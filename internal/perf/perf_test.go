@@ -1,11 +1,22 @@
 package perf
 
 import (
+	"math"
 	"strings"
 	"testing"
 
 	"ev8pred/internal/frontend"
 )
+
+// estimate is the test helper for inputs that must be valid.
+func estimate(t *testing.T, m Model, in Inputs) Report {
+	t.Helper()
+	r, err := m.Estimate(in)
+	if err != nil {
+		t.Fatalf("Estimate(%+v) failed: %v", in, err)
+	}
+	return r
+}
 
 func TestEV8Parameters(t *testing.T) {
 	m := EV8()
@@ -17,16 +28,56 @@ func TestEV8Parameters(t *testing.T) {
 	}
 }
 
-func TestEstimateNoMispredicts(t *testing.T) {
+// TestIssueWidthIsACycleFloor is the regression for the cap-binding bug:
+// the old code clamped IPC at IssueWidth but left Cycles at the
+// fetch+redirect sum, so one Report described two different machines.
+// When the cap binds, Cycles must rise to Instructions/IssueWidth and IPC
+// must be derived from those final Cycles.
+func TestIssueWidthIsACycleFloor(t *testing.T) {
 	m := EV8()
-	r := m.Estimate(Inputs{Instructions: 16000, Blocks: 2000})
-	// 2000 blocks at 2/cycle = 1000 cycles; 16000 instructions -> IPC
-	// would be 16 but is capped at the 8-wide issue limit.
+	r := estimate(t, m, Inputs{Instructions: 16000, Blocks: 2000})
+	// Fetch alone: 2000 blocks at 2/cycle = 1000 cycles, which would mean
+	// 16 IPC on an 8-wide machine — impossible. The issue-width floor is
+	// 16000/8 = 2000 cycles.
 	if r.FetchCycles != 1000 {
-		t.Errorf("FetchCycles = %v", r.FetchCycles)
+		t.Errorf("FetchCycles = %v, want 1000", r.FetchCycles)
+	}
+	if r.IssueCycles != 2000 {
+		t.Errorf("IssueCycles = %v, want 2000", r.IssueCycles)
+	}
+	if r.Cycles != 2000 {
+		t.Errorf("Cycles = %v, want the issue-width floor 2000", r.Cycles)
 	}
 	if r.IPC != 8 {
-		t.Errorf("IPC = %v, want issue-width cap 8", r.IPC)
+		t.Errorf("IPC = %v, want issue-width limit 8", r.IPC)
+	}
+	// The consistency invariant itself: IPC is computed from the Cycles
+	// the Report carries, not from the pre-floor sum.
+	if got := float64(16000) / r.Cycles; r.IPC != got {
+		t.Errorf("IPC = %v inconsistent with Instructions/Cycles = %v", r.IPC, got)
+	}
+}
+
+// TestCapBindingSpeedupConsistent pins the downstream symptom: Speedup
+// between a cap-bound run and a redirect-bound run must equal both the
+// IPC ratio and the inverse cycle ratio, because the two are now the same
+// quantity.
+func TestCapBindingSpeedupConsistent(t *testing.T) {
+	m := EV8()
+	const instr = 16000
+	fast := estimate(t, m, Inputs{Instructions: instr, Blocks: 2000}) // cap binds
+	slow := estimate(t, m, Inputs{Instructions: instr, Blocks: 2000,
+		PCGen: frontend.PCGenStats{CondMispredicts: 200}}) // 2800 redirect cycles dominate
+
+	if fast.Cycles >= slow.Cycles {
+		t.Fatalf("expected redirects to cost cycles: fast %v, slow %v", fast.Cycles, slow.Cycles)
+	}
+	s := Speedup(fast, slow)
+	ipcRatio := fast.IPC / slow.IPC
+	cycleRatio := slow.Cycles / fast.Cycles
+	if math.Abs(s-ipcRatio) > 1e-12 || math.Abs(s-cycleRatio) > 1e-12 {
+		t.Errorf("Speedup = %v, IPC ratio = %v, cycle ratio = %v; all three must agree",
+			s, ipcRatio, cycleRatio)
 	}
 }
 
@@ -41,13 +92,13 @@ func TestEstimateChargesRedirects(t *testing.T) {
 			RetMispredicts:  2,
 		},
 	}
-	r := m.Estimate(in)
+	r := estimate(t, m, in)
 	want := float64(10+5+2) * 14
 	if r.RedirectCycles != want {
 		t.Errorf("RedirectCycles = %v, want %v", r.RedirectCycles, want)
 	}
 	if r.IPC >= 8 {
-		t.Error("redirects should pull IPC below the cap")
+		t.Error("redirects should pull IPC below the issue width")
 	}
 }
 
@@ -59,11 +110,11 @@ func TestLineSlipsSubsumedByRedirects(t *testing.T) {
 		PCGen:        frontend.PCGenStats{CondMispredicts: 50},
 		LineMisses:   30, // all coincide with redirects
 	}
-	if r := m.Estimate(in); r.LineCycles != 0 {
+	if r := estimate(t, m, in); r.LineCycles != 0 {
 		t.Errorf("LineCycles = %v, want 0 (subsumed)", r.LineCycles)
 	}
 	in.LineMisses = 80 // 30 extra slips
-	if r := m.Estimate(in); r.LineCycles != 30*2 {
+	if r := estimate(t, m, in); r.LineCycles != 30*2 {
 		t.Errorf("LineCycles = %v, want 60", r.LineCycles)
 	}
 }
@@ -75,17 +126,109 @@ func TestSpeedupAndString(t *testing.T) {
 		t.Error("Speedup(4,2) != 2")
 	}
 	if Speedup(a, Report{}) != 0 {
-		t.Error("Speedup with zero base should be 0")
+		t.Error("Speedup with a zero baseline must return the 0 sentinel")
 	}
 	if !strings.Contains(a.String(), "IPC") {
 		t.Errorf("String = %q", a.String())
 	}
 }
 
-func TestZeroInputs(t *testing.T) {
-	var m Model
-	r := m.Estimate(Inputs{})
-	if r.Cycles != 0 || r.IPC != 0 {
-		t.Errorf("zero model/inputs produced %+v", r)
+// TestDegenerateInputs pins the documented contract: an empty run is the
+// zero Report with no error; instructions with zero attributable cycles
+// are an error (never a silent IPC = 0); negative counts are errors; and
+// no error-free Report ever contains NaN or Inf.
+func TestDegenerateInputs(t *testing.T) {
+	t.Run("empty run", func(t *testing.T) {
+		r, err := EV8().Estimate(Inputs{})
+		if err != nil {
+			t.Fatalf("empty run must be valid: %v", err)
+		}
+		if r != (Report{}) {
+			t.Errorf("empty run = %+v, want zero Report", r)
+		}
+	})
+	t.Run("zero model with instructions", func(t *testing.T) {
+		var m Model
+		if _, err := m.Estimate(Inputs{Instructions: 1000, Blocks: 100}); err == nil {
+			t.Error("all-zero model with retired instructions must error, not report IPC = 0")
+		}
+	})
+	t.Run("zero blocks zero events", func(t *testing.T) {
+		// An issue-width-only model still attributes cycles, so this is
+		// valid and the floor is the whole estimate.
+		m := Model{IssueWidth: 8}
+		r, err := m.Estimate(Inputs{Instructions: 800})
+		if err != nil {
+			t.Fatalf("issue-width floor should make this valid: %v", err)
+		}
+		if r.Cycles != 100 || r.IPC != 8 {
+			t.Errorf("got %+v, want 100 cycles at 8 IPC", r)
+		}
+		// Without any cycle source at all it must error.
+		if _, err := (Model{}).Estimate(Inputs{Instructions: 800}); err == nil {
+			t.Error("no cycle source: want error")
+		}
+	})
+	t.Run("negative counts", func(t *testing.T) {
+		if _, err := EV8().Estimate(Inputs{Instructions: -1}); err == nil {
+			t.Error("negative instructions: want error")
+		}
+		if _, err := EV8().Estimate(Inputs{Instructions: 10,
+			PCGen: frontend.PCGenStats{CondMispredicts: -3}}); err == nil {
+			t.Error("negative redirect count: want error")
+		}
+	})
+	t.Run("no NaN or Inf", func(t *testing.T) {
+		cases := []Inputs{
+			{},
+			{Instructions: 1, Blocks: 1},
+			{Instructions: 1 << 40, Blocks: 1},
+			{Blocks: 500}, // blocks without instructions: IPC 0, valid
+		}
+		for _, in := range cases {
+			r, err := EV8().Estimate(in)
+			if err != nil {
+				continue
+			}
+			for _, v := range []float64{r.FetchCycles, r.RedirectCycles, r.LineCycles, r.IssueCycles, r.Cycles, r.IPC} {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Errorf("Estimate(%+v) = %+v contains NaN/Inf", in, r)
+				}
+			}
+		}
+	})
+}
+
+// TestReportConsistencyInvariant sweeps a grid of inputs and asserts the
+// package-level invariant on every error-free Report: IPC*Cycles ==
+// Instructions, IPC <= IssueWidth, Cycles >= each component.
+func TestReportConsistencyInvariant(t *testing.T) {
+	models := []Model{EV8(), EV8Typical(), {IssueWidth: 4, FetchBlocksPerCycle: 1}}
+	for _, m := range models {
+		for _, instr := range []int64{0, 1, 999, 16000, 1 << 30} {
+			for _, blocks := range []int64{0, 1, 200, 4000} {
+				for _, misp := range []int64{0, 7, 500} {
+					in := Inputs{Instructions: instr, Blocks: blocks,
+						PCGen: frontend.PCGenStats{CondMispredicts: misp}}
+					r, err := m.Estimate(in)
+					if err != nil {
+						continue
+					}
+					if instr > 0 {
+						if got := r.IPC * r.Cycles; math.Abs(got-float64(instr)) > 1e-6*float64(instr)+1e-9 {
+							t.Errorf("model %+v in %+v: IPC*Cycles = %v, want %d", m, in, got, instr)
+						}
+						if m.IssueWidth > 0 && r.IPC > m.IssueWidth+1e-12 {
+							t.Errorf("model %+v in %+v: IPC %v exceeds issue width %v", m, in, r.IPC, m.IssueWidth)
+						}
+					}
+					sum := r.FetchCycles + r.RedirectCycles + r.LineCycles
+					if r.Cycles+1e-9 < sum || r.Cycles+1e-9 < r.IssueCycles {
+						t.Errorf("model %+v in %+v: Cycles %v below components (sum %v, floor %v)",
+							m, in, r.Cycles, sum, r.IssueCycles)
+					}
+				}
+			}
+		}
 	}
 }

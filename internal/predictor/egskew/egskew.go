@@ -16,6 +16,7 @@ import (
 	"ev8pred/internal/history"
 	"ev8pred/internal/predictor"
 	"ev8pred/internal/skew"
+	"ev8pred/internal/stats"
 )
 
 // EGskew is a three-bank majority-vote predictor.
@@ -28,6 +29,23 @@ type EGskew struct {
 	fns     []*skew.Func
 	partial bool
 	name    string
+	// st holds attribution counters when stats collection is enabled
+	// (stats.Instrumented); nil keeps the update path at one pointer
+	// check.
+	st *egskewStats
+}
+
+// egskewStats accumulates component attribution: per-bank vote outcomes
+// and the partial-update classification, observed at update time.
+type egskewStats struct {
+	updates           int64
+	mispredicts       int64
+	bankWrongOnMisp   [3]int64 // BIM, G0, G1
+	bankWrongAbsorbed [3]int64
+	correctStrengthen int64
+	mispFull          int64
+	totalPolicy       int64
+	predFlips         [3]int64 // direction flips: destructive-aliasing estimate
 }
 
 // New returns an e-gskew predictor with three banks of entries counters
@@ -132,7 +150,16 @@ func (e *EGskew) UpdateWith(s predictor.Snapshot, taken bool) {
 func (e *EGskew) updateAt(ibim, i0, i1 uint64, taken bool) {
 	pbim, p0, p1 := e.bim.Taken(ibim), e.g0.Taken(i0), e.g1.Taken(i1)
 	predicted := b2i(pbim)+b2i(p0)+b2i(p1) >= 2
+	if e.st != nil {
+		e.updateInstrumented(ibim, i0, i1, pbim, p0, p1, predicted, taken)
+		return
+	}
+	e.applyUpdate(ibim, i0, i1, pbim, p0, p1, predicted, taken)
+}
 
+// applyUpdate performs the policy writes — the single write path shared
+// by the plain and instrumented updates.
+func (e *EGskew) applyUpdate(ibim, i0, i1 uint64, pbim, p0, p1, predicted, taken bool) {
 	if !e.partial || predicted != taken {
 		// Total update, or misprediction: step every bank.
 		e.bim.Update(ibim, taken)
@@ -153,6 +180,90 @@ func (e *EGskew) updateAt(ibim, i0, i1 uint64, taken bool) {
 	}
 }
 
+// updateInstrumented is the attribution twin of applyUpdate: identical
+// writes, wrapped in vote-outcome and update-kind counting plus a
+// before/after direction-flip diff.
+func (e *EGskew) updateInstrumented(ibim, i0, i1 uint64, pbim, p0, p1, predicted, taken bool) {
+	st := e.st
+	banks := [3]*counter.Array{e.bim, e.g0, e.g1}
+	idx := [3]uint64{ibim, i0, i1}
+	var before [3]uint8
+	for k := range banks {
+		before[k] = banks[k].Get(idx[k])
+	}
+
+	st.updates++
+	misp := predicted != taken
+	if misp {
+		st.mispredicts++
+	}
+	for k, v := range [3]bool{pbim, p0, p1} {
+		if v != taken {
+			if misp {
+				st.bankWrongOnMisp[k]++
+			} else {
+				st.bankWrongAbsorbed[k]++
+			}
+		}
+	}
+	switch {
+	case !e.partial:
+		st.totalPolicy++
+	case misp:
+		st.mispFull++
+	default:
+		st.correctStrengthen++
+	}
+
+	e.applyUpdate(ibim, i0, i1, pbim, p0, p1, predicted, taken)
+
+	for k := range banks {
+		after := banks[k].Get(idx[k])
+		if (before[k] >= counter.WeakTaken) != (after >= counter.WeakTaken) {
+			st.predFlips[k]++
+		}
+	}
+}
+
+// EnableStats implements stats.Instrumented; see the package stats
+// zero-overhead contract.
+func (e *EGskew) EnableStats(on bool) {
+	switch {
+	case on && e.st == nil:
+		e.st = &egskewStats{}
+	case !on:
+		e.st = nil
+	}
+}
+
+// egskewBankNames label the three banks in counter names, matching the
+// core package's taxonomy so cross-scheme comparisons line up.
+var egskewBankNames = [3]string{"BIM", "G0", "G1"}
+
+// Stats implements stats.Instrumented.
+func (e *EGskew) Stats() stats.Counters {
+	if e.st == nil {
+		return nil
+	}
+	st := e.st
+	cs := make(stats.Counters, 0, 16)
+	cs.Add("updates", st.updates)
+	cs.Add("mispredicts", st.mispredicts)
+	for k, n := range egskewBankNames {
+		cs.Add("bank_wrong_on_misp_"+n, st.bankWrongOnMisp[k])
+	}
+	for k, n := range egskewBankNames {
+		cs.Add("bank_wrong_absorbed_"+n, st.bankWrongAbsorbed[k])
+	}
+	cs.Add("update_correct_strengthen", st.correctStrengthen)
+	cs.Add("update_misp_full", st.mispFull)
+	cs.Add("update_total_policy", st.totalPolicy)
+	for k, n := range egskewBankNames {
+		cs.Add("pred_flips_"+n, st.predFlips[k])
+	}
+	return cs
+}
+
 // Name implements predictor.Predictor.
 func (e *EGskew) Name() string { return e.name }
 
@@ -161,12 +272,17 @@ func (e *EGskew) SizeBits() int {
 	return 2 * (e.bim.Len() + e.g0.Len() + e.g1.Len())
 }
 
-// Reset implements predictor.Predictor.
+// Reset implements predictor.Predictor. Attribution counters are zeroed;
+// collection stays enabled if it was.
 func (e *EGskew) Reset() {
 	e.bim.Reset()
 	e.g0.Reset()
 	e.g1.Reset()
+	if e.st != nil {
+		*e.st = egskewStats{}
+	}
 }
 
 var _ predictor.Predictor = (*EGskew)(nil)
 var _ predictor.FusedPredictor = (*EGskew)(nil)
+var _ stats.Instrumented = (*EGskew)(nil)

@@ -11,6 +11,7 @@ import (
 	"ev8pred/internal/counter"
 	"ev8pred/internal/history"
 	"ev8pred/internal/predictor"
+	"ev8pred/internal/stats"
 )
 
 // Gshare is a global-history XOR-indexed counter table.
@@ -19,6 +20,23 @@ type Gshare struct {
 	bits    int
 	histLen int
 	name    string
+	// st holds attribution counters when stats collection is enabled
+	// (stats.Instrumented); nil keeps the update path at one pointer
+	// check.
+	st *gshareStats
+}
+
+// gshareStats accumulates single-table attribution: misprediction
+// severity by counter strength (a weak-counter miss is the aliasing/
+// training signature, a strong-counter miss a genuine behavior change)
+// and direction flips as the destructive-aliasing estimate.
+type gshareStats struct {
+	updates     int64
+	mispredicts int64
+	mispWeak    int64
+	mispStrong  int64
+	strengthens int64
+	predFlips   int64
 }
 
 // New returns a gshare predictor with entries counters (a power of two)
@@ -58,7 +76,66 @@ func (g *Gshare) Predict(info *history.Info) bool {
 
 // Update implements predictor.Predictor.
 func (g *Gshare) Update(info *history.Info, taken bool) {
-	g.table.Update(g.index(info), taken)
+	g.update(g.index(info), taken)
+}
+
+// update is the single write path; attribution hangs off its one nil
+// check.
+func (g *Gshare) update(idx uint64, taken bool) {
+	if g.st != nil {
+		g.updateInstrumented(idx, taken)
+		return
+	}
+	g.table.Update(idx, taken)
+}
+
+// updateInstrumented wraps the identical table write in attribution
+// counting.
+func (g *Gshare) updateInstrumented(idx uint64, taken bool) {
+	st := g.st
+	before := g.table.Get(idx)
+	st.updates++
+	if (before >= counter.WeakTaken) != taken {
+		st.mispredicts++
+		if before == counter.WeakNotTaken || before == counter.WeakTaken {
+			st.mispWeak++
+		} else {
+			st.mispStrong++
+		}
+	} else {
+		st.strengthens++
+	}
+	g.table.Update(idx, taken)
+	after := g.table.Get(idx)
+	if (before >= counter.WeakTaken) != (after >= counter.WeakTaken) {
+		st.predFlips++
+	}
+}
+
+// EnableStats implements stats.Instrumented.
+func (g *Gshare) EnableStats(on bool) {
+	switch {
+	case on && g.st == nil:
+		g.st = &gshareStats{}
+	case !on:
+		g.st = nil
+	}
+}
+
+// Stats implements stats.Instrumented.
+func (g *Gshare) Stats() stats.Counters {
+	if g.st == nil {
+		return nil
+	}
+	st := g.st
+	cs := make(stats.Counters, 0, 6)
+	cs.Add("updates", st.updates)
+	cs.Add("mispredicts", st.mispredicts)
+	cs.Add("misp_weak_counter", st.mispWeak)
+	cs.Add("misp_strong_counter", st.mispStrong)
+	cs.Add("update_strengthen", st.strengthens)
+	cs.Add("pred_flips", st.predFlips)
+	return cs
 }
 
 // Lookup implements predictor.FusedPredictor: the folded-history index is
@@ -75,7 +152,7 @@ func (g *Gshare) Lookup(info *history.Info) predictor.Snapshot {
 
 // UpdateWith implements predictor.FusedPredictor.
 func (g *Gshare) UpdateWith(s predictor.Snapshot, taken bool) {
-	g.table.Update(s.Idx[0], taken)
+	g.update(s.Idx[0], taken)
 }
 
 // Name implements predictor.Predictor.
@@ -87,8 +164,15 @@ func (g *Gshare) SizeBits() int { return 2 * g.table.Len() }
 // HistLen returns the configured history length.
 func (g *Gshare) HistLen() int { return g.histLen }
 
-// Reset implements predictor.Predictor.
-func (g *Gshare) Reset() { g.table.Reset() }
+// Reset implements predictor.Predictor. Attribution counters are zeroed;
+// collection stays enabled if it was.
+func (g *Gshare) Reset() {
+	g.table.Reset()
+	if g.st != nil {
+		*g.st = gshareStats{}
+	}
+}
 
 var _ predictor.Predictor = (*Gshare)(nil)
 var _ predictor.FusedPredictor = (*Gshare)(nil)
+var _ stats.Instrumented = (*Gshare)(nil)

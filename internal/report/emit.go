@@ -1,0 +1,129 @@
+// Machine-readable emission: the same results the text tables render,
+// as JSON records and CSV rows, including the per-component attribution
+// counters when a run collected them. docs/OBSERVABILITY.md documents
+// the schema; the CLIs expose it behind -json/-stats.
+package report
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+
+	"ev8pred/internal/sim"
+	"ev8pred/internal/stats"
+)
+
+// Run is one simulation result as a machine-readable record. The scalar
+// fields mirror sim.Result plus its derived metrics; Stats carries the
+// attribution counters (nil/omitted when the run did not collect them).
+type Run struct {
+	Predictor    string         `json:"predictor"`
+	Workload     string         `json:"workload"`
+	Branches     int64          `json:"branches"`
+	Mispredicts  int64          `json:"mispredicts"`
+	Instructions int64          `json:"instructions"`
+	SizeBits     int            `json:"size_bits"`
+	MispKI       float64        `json:"misp_per_ki"`
+	Accuracy     float64        `json:"accuracy"`
+	Stats        stats.Counters `json:"stats,omitempty"`
+}
+
+// FromResult converts one sim.Result into its emission record.
+func FromResult(r sim.Result) Run {
+	run := Run{
+		Predictor:    r.Predictor,
+		Workload:     r.Workload,
+		Branches:     r.Branches,
+		Mispredicts:  r.Mispredicts,
+		Instructions: r.Instructions,
+		SizeBits:     r.SizeBits,
+		MispKI:       r.MispKI(),
+		Accuracy:     r.Accuracy(),
+	}
+	if r.Stats != nil {
+		run.Stats = *r.Stats
+	}
+	return run
+}
+
+// FromResults converts a result slice, preserving order.
+func FromResults(rs []sim.Result) []Run {
+	out := make([]Run, len(rs))
+	for i, r := range rs {
+		out[i] = FromResult(r)
+	}
+	return out
+}
+
+// WriteJSON emits the records as one indented JSON array — the -json
+// output format of the CLIs.
+func WriteJSON(w io.Writer, runs []Run) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(runs); err != nil {
+		return fmt.Errorf("report: encoding JSON: %w", err)
+	}
+	return nil
+}
+
+// csvScalarHeaders are the fixed leading CSV columns, matching Run's
+// scalar fields in order.
+var csvScalarHeaders = []string{
+	"predictor", "workload", "branches", "mispredicts",
+	"instructions", "size_bits", "misp_per_ki", "accuracy",
+}
+
+// WriteCSV emits the records as CSV. The column set is the scalar fields
+// followed by the union of all attribution counter names across the
+// records, in first-appearance order (stats.UnionNames), so rows from
+// predictors with different counter vocabularies share one rectangular
+// table; a record missing a counter leaves that cell empty. Counter
+// columns carry a "stat_" prefix so names like "mispredicts" cannot
+// collide with the scalar columns.
+func WriteCSV(w io.Writer, runs []Run) error {
+	sets := make([]stats.Counters, len(runs))
+	for i, r := range runs {
+		sets[i] = r.Stats
+	}
+	counterCols := stats.UnionNames(sets...)
+
+	cw := csv.NewWriter(w)
+	header := append([]string{}, csvScalarHeaders...)
+	for _, name := range counterCols {
+		header = append(header, "stat_"+name)
+	}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("report: writing CSV header: %w", err)
+	}
+	row := make([]string, 0, len(csvScalarHeaders)+len(counterCols))
+	for _, r := range runs {
+		row = row[:0]
+		row = append(row,
+			r.Predictor, r.Workload,
+			strconv.FormatInt(r.Branches, 10),
+			strconv.FormatInt(r.Mispredicts, 10),
+			strconv.FormatInt(r.Instructions, 10),
+			strconv.Itoa(r.SizeBits),
+			strconv.FormatFloat(r.MispKI, 'f', 4, 64),
+			strconv.FormatFloat(r.Accuracy, 'f', 6, 64),
+		)
+		m := r.Stats.Map()
+		for _, name := range counterCols {
+			if v, ok := m[name]; ok {
+				row = append(row, strconv.FormatInt(v, 10))
+			} else {
+				row = append(row, "")
+			}
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("report: writing CSV row: %w", err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("report: flushing CSV: %w", err)
+	}
+	return nil
+}

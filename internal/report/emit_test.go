@@ -1,0 +1,135 @@
+package report
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+
+	"ev8pred/internal/sim"
+	"ev8pred/internal/stats"
+)
+
+func sampleResults() []sim.Result {
+	var cs stats.Counters
+	cs.Add("updates", 100)
+	cs.Add("mispredicts", 7)
+	return []sim.Result{
+		{Predictor: "EV8", Workload: "gcc", Branches: 1000, Mispredicts: 7,
+			Instructions: 6000, SizeBits: 352 * 1024, Stats: &cs},
+		{Predictor: "bimodal", Workload: "li", Branches: 500, Mispredicts: 50,
+			Instructions: 3000, SizeBits: 2048},
+	}
+}
+
+func TestFromResult(t *testing.T) {
+	rs := sampleResults()
+	run := FromResult(rs[0])
+	if run.Predictor != "EV8" || run.Workload != "gcc" || run.SizeBits != 352*1024 {
+		t.Errorf("scalar fields lost: %+v", run)
+	}
+	if want := rs[0].MispKI(); run.MispKI != want {
+		t.Errorf("MispKI = %v, want %v", run.MispKI, want)
+	}
+	if len(run.Stats) != 2 {
+		t.Errorf("Stats not carried over: %+v", run.Stats)
+	}
+	if noStats := FromResult(rs[1]); noStats.Stats != nil {
+		t.Errorf("nil Result.Stats must stay nil, got %+v", noStats.Stats)
+	}
+}
+
+func TestWriteJSONRoundTrip(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteJSON(&sb, FromResults(sampleResults())); err != nil {
+		t.Fatal(err)
+	}
+	var back []Run
+	if err := json.Unmarshal([]byte(sb.String()), &back); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, sb.String())
+	}
+	if len(back) != 2 {
+		t.Fatalf("got %d records, want 2", len(back))
+	}
+	if v, ok := back[0].Stats.Get("mispredicts"); !ok || v != 7 {
+		t.Errorf("attribution counter lost in JSON: %v %v", v, ok)
+	}
+	// The stats-less record must omit the field entirely.
+	if strings.Contains(sb.String(), `"stats": null`) {
+		t.Error("empty stats should be omitted, not null")
+	}
+}
+
+func TestWriteCSVUnionColumns(t *testing.T) {
+	rs := sampleResults()
+	extra := stats.Counters{}
+	extra.Add("pred_flips", 9)
+	rs = append(rs, sim.Result{Predictor: "gshare", Workload: "go",
+		Branches: 10, Instructions: 60, Stats: &extra})
+
+	var sb strings.Builder
+	if err := WriteCSV(&sb, FromResults(rs)); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(strings.NewReader(sb.String())).ReadAll()
+	if err != nil {
+		t.Fatalf("output is not valid CSV: %v\n%s", err, sb.String())
+	}
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows, want header + 3", len(rows))
+	}
+	header := rows[0]
+	// Counter columns are prefixed so "mispredicts" (counter) cannot
+	// collide with "mispredicts" (scalar).
+	wantHeader := append(append([]string{}, csvScalarHeaders...),
+		"stat_updates", "stat_mispredicts", "stat_pred_flips")
+	if strings.Join(header, ",") != strings.Join(wantHeader, ",") {
+		t.Errorf("header = %v, want %v", header, wantHeader)
+	}
+	col := func(name string) int {
+		for i, h := range header {
+			if h == name {
+				return i
+			}
+		}
+		t.Fatalf("no column %q", name)
+		return -1
+	}
+	// Row 1 (EV8) has updates/mispredicts but no pred_flips cell.
+	if rows[1][col("stat_updates")] != "100" || rows[1][col("stat_pred_flips")] != "" {
+		t.Errorf("EV8 row: %v", rows[1])
+	}
+	// Row 2 (bimodal, no stats) leaves every counter cell empty.
+	if rows[2][col("stat_updates")] != "" || rows[2][col("stat_mispredicts")] != "" {
+		t.Errorf("bimodal row should have empty counter cells: %v", rows[2])
+	}
+	// Row 3 (gshare) fills only pred_flips.
+	if rows[3][col("stat_pred_flips")] != "9" || rows[3][col("stat_updates")] != "" {
+		t.Errorf("gshare row: %v", rows[3])
+	}
+}
+
+func TestWriteCSVNoStats(t *testing.T) {
+	var sb strings.Builder
+	rs := []sim.Result{{Predictor: "p", Workload: "w", Branches: 1, Instructions: 6}}
+	if err := WriteCSV(&sb, FromResults(rs)); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(strings.NewReader(sb.String())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows[0]) != len(csvScalarHeaders) {
+		t.Errorf("header without stats = %v", rows[0])
+	}
+}
+
+func TestEmittedMetricsAreFinite(t *testing.T) {
+	// Degenerate zero results must not leak NaN/Inf into the records.
+	run := FromResult(sim.Result{Predictor: "p", Workload: "w"})
+	if math.IsNaN(run.MispKI) || math.IsInf(run.MispKI, 0) ||
+		math.IsNaN(run.Accuracy) || math.IsInf(run.Accuracy, 0) {
+		t.Errorf("non-finite metrics: %+v", run)
+	}
+}

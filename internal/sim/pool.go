@@ -32,8 +32,15 @@ type CellDone struct {
 	// Done counts completed cells (including this one); Total is the
 	// fan-out size.
 	Done, Total int
-	// Branches and Instructions are the cell's measured totals.
+	// Predictor and Workload identify the completed cell so a live
+	// progress view (CLI counter, expvar page) can say *which* cell
+	// finished, not just how many have.
+	Predictor string
+	Workload  string
+	// Branches, Mispredicts and Instructions are the cell's measured
+	// totals.
 	Branches     int64
+	Mispredicts  int64
 	Instructions int64
 }
 
@@ -87,7 +94,9 @@ func RunCells(ctx context.Context, cells []Cell, instrBudget int64, pool PoolOpt
 				done++
 				pool.Progress(CellDone{
 					Index: i, Done: done, Total: len(cells),
-					Branches: r.Branches, Instructions: r.Instructions,
+					Predictor: r.Predictor, Workload: r.Workload,
+					Branches: r.Branches, Mispredicts: r.Mispredicts,
+					Instructions: r.Instructions,
 				})
 				mu.Unlock()
 			}

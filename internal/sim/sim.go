@@ -15,6 +15,7 @@ import (
 	"ev8pred/internal/frontend"
 	"ev8pred/internal/history"
 	"ev8pred/internal/predictor"
+	"ev8pred/internal/stats"
 	"ev8pred/internal/trace"
 	"ev8pred/internal/workload"
 )
@@ -50,6 +51,15 @@ type Options struct {
 	// debugging path. It has no effect on a single Run — parallelism is
 	// across cells, never within one simulated instruction stream.
 	Workers int
+	// Collect enables component attribution: when set and the predictor
+	// implements stats.Instrumented, Run turns its counters on before
+	// the stream and snapshots them into Result.Stats after. Collection
+	// never touches the per-branch hot loop — enabling and snapshotting
+	// happen once per run, and the predictor-side counting is gated
+	// behind the interface's own flag — and never changes predictions:
+	// the Result's core fields are byte-identical with Collect on or
+	// off (see docs/OBSERVABILITY.md).
+	Collect bool
 }
 
 // Result summarizes one run.
@@ -60,6 +70,13 @@ type Result struct {
 	Mispredicts  int64
 	Instructions int64 // total instructions over the measured stream
 	SizeBits     int
+	// Stats holds the predictor's component-attribution counters when
+	// the run was executed with Options.Collect and the predictor
+	// implements stats.Instrumented; nil otherwise. It is a pointer so
+	// Result stays comparable with == (the differential suites rely on
+	// that); two Results from identical runs with Collect enabled
+	// compare unequal only by this pointer.
+	Stats *stats.Counters
 }
 
 // MispKI returns mispredictions per 1000 instructions, the paper's metric.
@@ -137,6 +154,18 @@ func Run(p predictor.Predictor, src trace.Source, opts Options) (Result, error) 
 	res := Result{Predictor: p.Name(), SizeBits: p.SizeBits()}
 	trackers := map[int]*frontend.Tracker{}
 	fp, fused := p.(predictor.FusedPredictor)
+
+	// Attribution is enabled once, before the stream; the hot loop below
+	// is identical with or without it (the predictor gates its own
+	// counting). The snapshot happens after the commit-delay queue
+	// drains so delayed updates are attributed too.
+	var inst stats.Instrumented
+	if opts.Collect {
+		inst, _ = p.(stats.Instrumented)
+		if inst != nil {
+			inst.EnableStats(true)
+		}
+	}
 
 	// The commit-delay queue is a fixed ring of UpdateDelay slots,
 	// allocated once per run: the old slice queue popped via queue[1:],
@@ -241,6 +270,10 @@ func Run(p predictor.Predictor, src trace.Source, opts Options) (Result, error) 
 	// raw count in place, over-reporting by up to Warmup at the boundary.
 	if opts.Warmup > 0 {
 		res.Branches -= min(res.Branches, opts.Warmup)
+	}
+	if inst != nil {
+		cs := inst.Stats()
+		res.Stats = &cs
 	}
 	if err := trace.SourceErr(src); err != nil {
 		return res, fmt.Errorf("sim: source failed after %d branches: %w", res.Branches, err)

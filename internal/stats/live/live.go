@@ -1,0 +1,106 @@
+// Package live publishes suite-run progress through the standard
+// library's expvar registry, plus a minimal HTTP endpoint to read it, so
+// a long ev8bench/ev8sweep run can be inspected from outside the process
+// while it executes (curl the -expvar address).
+//
+// It is deliberately a separate package from the pure counter layer
+// (package stats): linking expvar/net/http wakes enough background
+// machinery to trip the zero-allocation hot-path gate in binaries that
+// never serve anything, so only the CLIs that actually expose -expvar
+// import this package. The predictor/sim layers depend on package stats
+// alone.
+package live
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+)
+
+// Live publishes suite-run progress as expvar variables. One Live is
+// created per process (expvar names are process-global); concurrent
+// Observe calls are safe — expvar.Int is internally atomic.
+type Live struct {
+	cells     *expvar.Int
+	total     *expvar.Int
+	branches  *expvar.Int
+	instr     *expvar.Int
+	start     time.Time
+	startedAt *expvar.String
+}
+
+// publishInt returns the named expvar.Int, creating it on first use.
+// Reusing an existing registration keeps New idempotent (expvar panics
+// on duplicate Publish), which matters for tests and for CLIs whose
+// run() is invoked more than once per process.
+func publishInt(name string) *expvar.Int {
+	if v := expvar.Get(name); v != nil {
+		if i, ok := v.(*expvar.Int); ok {
+			i.Set(0)
+			return i
+		}
+	}
+	i := new(expvar.Int)
+	expvar.Publish(name, i)
+	return i
+}
+
+func publishString(name string) *expvar.String {
+	if v := expvar.Get(name); v != nil {
+		if s, ok := v.(*expvar.String); ok {
+			return s
+		}
+	}
+	s := new(expvar.String)
+	expvar.Publish(name, s)
+	return s
+}
+
+// New publishes (or re-zeroes) the progress variables under
+// "<prefix>.cells_done", ".cells_total", ".branches", ".instructions",
+// ".started_at" and returns the handle CLIs feed from their progress
+// callbacks.
+func New(prefix string) *Live {
+	l := &Live{
+		cells:     publishInt(prefix + ".cells_done"),
+		total:     publishInt(prefix + ".cells_total"),
+		branches:  publishInt(prefix + ".branches"),
+		instr:     publishInt(prefix + ".instructions"),
+		start:     time.Now(),
+		startedAt: publishString(prefix + ".started_at"),
+	}
+	l.startedAt.Set(l.start.Format(time.RFC3339))
+	return l
+}
+
+// Observe records one completed simulation cell. total is the fan-out
+// size of the current run (suite drivers may run several fan-outs; the
+// latest total wins, matching what "in progress now" means to a reader).
+func (l *Live) Observe(total int, branches, instructions int64) {
+	l.cells.Add(1)
+	l.total.Set(int64(total))
+	l.branches.Add(branches)
+	l.instr.Add(instructions)
+}
+
+// ServeDebug starts an HTTP listener on addr (e.g. "localhost:0" or
+// ":8080") serving the expvar JSON on every path, and returns the bound
+// address so callers can print it (and tests can dial it). The server
+// runs until the process exits; a long suite run is then inspectable
+// with: curl http://<addr>/debug/vars
+func ServeDebug(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("live: expvar listener: %w", err)
+	}
+	srv := &http.Server{Handler: expvar.Handler()}
+	go func() {
+		// The listener lives for the whole process; Serve only returns
+		// on a fatal accept error, which a diagnostics endpoint can
+		// safely ignore.
+		_ = srv.Serve(ln)
+	}()
+	return ln.Addr(), nil
+}

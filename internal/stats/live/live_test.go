@@ -1,0 +1,55 @@
+package live
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"testing"
+)
+
+func TestObserveAndIdempotentPublish(t *testing.T) {
+	l := New("live_test")
+	l.Observe(4, 100, 1000)
+	l.Observe(4, 50, 500)
+	if got := l.cells.Value(); got != 2 {
+		t.Errorf("cells_done = %d, want 2", got)
+	}
+	if got := l.branches.Value(); got != 150 {
+		t.Errorf("branches = %d, want 150", got)
+	}
+	if got := l.total.Value(); got != 4 {
+		t.Errorf("cells_total = %d, want 4", got)
+	}
+	// A second New with the same prefix must not panic (expvar forbids
+	// duplicate Publish) and must re-zero the progress counters.
+	l2 := New("live_test")
+	if got := l2.cells.Value(); got != 0 {
+		t.Errorf("re-published cells_done = %d, want 0", got)
+	}
+}
+
+func TestServeDebug(t *testing.T) {
+	l := New("live_serve_test")
+	l.Observe(8, 1234, 9999)
+	addr, err := ServeDebug("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(fmt.Sprintf("http://%s/debug/vars", addr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var vars map[string]any
+	if err := json.Unmarshal(body, &vars); err != nil {
+		t.Fatalf("expvar page is not JSON: %v\n%s", err, body)
+	}
+	if got, ok := vars["live_serve_test.branches"]; !ok || got.(float64) != 1234 {
+		t.Errorf("live_serve_test.branches = %v (present=%v)", got, ok)
+	}
+}

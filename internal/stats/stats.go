@@ -1,0 +1,106 @@
+// Package stats is the component-attribution observability layer: named
+// counters that predictors export to explain WHERE their mispredictions
+// come from — which bank voted wrong, how often the metapredictor's
+// arbitration won or lost, how much of the update traffic the partial
+// update policy saved — the attribution lens the paper's Figures 5–10 use
+// to compare design points.
+//
+// # Zero-overhead contract
+//
+// Attribution is strictly opt-in. A predictor that implements Instrumented
+// starts with collection disabled and must keep its predict/update hot
+// path free of attribution work in that state — the only permitted cost is
+// a single nil/flag check on the update path, and never an allocation (the
+// repo-level TestHotPathZeroAllocs gate enforces the latter). Enabling
+// collection may slow updates (extra counter reads, state snapshots) but
+// must never change predictions: misp/KI is identical with collection on
+// or off, which TestCollectDoesNotPerturbResults pins for every predictor.
+//
+// The package deliberately depends on nothing inside the repo, so any
+// layer (predictor, sim, report, CLIs) can import it without cycles.
+package stats
+
+import "sort"
+
+// Counter is one named attribution counter.
+type Counter struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// Counters is an ordered list of attribution counters. Order is part of
+// a predictor's contract: Stats() must return the same names in the same
+// order on every call, so downstream CSV columns and diffs are stable.
+type Counters []Counter
+
+// Instrumented is the optional predictor interface behind the attribution
+// layer. sim.Run detects it when Options.Collect is set; predictors that
+// do not implement it simply contribute no attribution.
+type Instrumented interface {
+	// EnableStats turns attribution collection on or off. Off is the
+	// power-on default and must cost nothing on the hot path beyond a
+	// single flag check. Enabling mid-run is allowed; counters cover
+	// only the enabled window.
+	EnableStats(on bool)
+	// Stats snapshots the attribution counters in a stable order. It
+	// returns nil when collection was never enabled.
+	Stats() Counters
+}
+
+// Add appends a counter.
+func (cs *Counters) Add(name string, v int64) {
+	*cs = append(*cs, Counter{Name: name, Value: v})
+}
+
+// Get returns the named counter's value and whether it exists.
+func (cs Counters) Get(name string) (int64, bool) {
+	for _, c := range cs {
+		if c.Name == name {
+			return c.Value, true
+		}
+	}
+	return 0, false
+}
+
+// Map returns the counters as a name → value map.
+func (cs Counters) Map() map[string]int64 {
+	m := make(map[string]int64, len(cs))
+	for _, c := range cs {
+		m[c.Name] = c.Value
+	}
+	return m
+}
+
+// Names returns the counter names in order.
+func (cs Counters) Names() []string {
+	out := make([]string, len(cs))
+	for i, c := range cs {
+		out[i] = c.Name
+	}
+	return out
+}
+
+// UnionNames returns the union of counter names across several sets, in
+// first-appearance order — the stable column set a CSV emitter needs.
+func UnionNames(sets ...Counters) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, cs := range sets {
+		for _, c := range cs {
+			if !seen[c.Name] {
+				seen[c.Name] = true
+				out = append(out, c.Name)
+			}
+		}
+	}
+	return out
+}
+
+// Sorted returns a name-sorted copy, for order-insensitive comparison in
+// tests and diffs.
+func (cs Counters) Sorted() Counters {
+	out := make(Counters, len(cs))
+	copy(out, cs)
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

@@ -1,0 +1,77 @@
+package stats
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+func sample() Counters {
+	var cs Counters
+	cs.Add("updates", 10)
+	cs.Add("mispredicts", 3)
+	cs.Add("bank_wrong_on_misp_BIM", 2)
+	return cs
+}
+
+func TestCountersAccessors(t *testing.T) {
+	cs := sample()
+	if v, ok := cs.Get("mispredicts"); !ok || v != 3 {
+		t.Errorf("Get(mispredicts) = %d, %v", v, ok)
+	}
+	if v, ok := cs.Get("nonexistent"); ok || v != 0 {
+		t.Errorf("Get(nonexistent) = %d, %v; want 0, false", v, ok)
+	}
+	wantNames := []string{"updates", "mispredicts", "bank_wrong_on_misp_BIM"}
+	if got := cs.Names(); !reflect.DeepEqual(got, wantNames) {
+		t.Errorf("Names() = %v, want %v", got, wantNames)
+	}
+	wantMap := map[string]int64{"updates": 10, "mispredicts": 3, "bank_wrong_on_misp_BIM": 2}
+	if got := cs.Map(); !reflect.DeepEqual(got, wantMap) {
+		t.Errorf("Map() = %v, want %v", got, wantMap)
+	}
+}
+
+func TestSortedDoesNotMutate(t *testing.T) {
+	cs := sample()
+	s := cs.Sorted()
+	if got := s.Names(); !reflect.DeepEqual(got, []string{"bank_wrong_on_misp_BIM", "mispredicts", "updates"}) {
+		t.Errorf("Sorted().Names() = %v", got)
+	}
+	if cs.Names()[0] != "updates" {
+		t.Error("Sorted mutated the receiver")
+	}
+}
+
+func TestUnionNames(t *testing.T) {
+	var a, b Counters
+	a.Add("updates", 1)
+	a.Add("mispredicts", 2)
+	b.Add("mispredicts", 5)
+	b.Add("pred_flips", 7)
+	got := UnionNames(a, nil, b)
+	want := []string{"updates", "mispredicts", "pred_flips"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("UnionNames = %v, want %v (first-appearance order)", got, want)
+	}
+	if UnionNames() != nil {
+		t.Error("UnionNames() of nothing should be nil")
+	}
+}
+
+func TestCountersJSONShape(t *testing.T) {
+	data, err := json.Marshal(sample())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back []struct {
+		Name  string `json:"name"`
+		Value int64  `json:"value"`
+	}
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("round-trip: %v (json: %s)", err, data)
+	}
+	if len(back) != 3 || back[0].Name != "updates" || back[0].Value != 10 {
+		t.Errorf("JSON round-trip lost data: %+v", back)
+	}
+}

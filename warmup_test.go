@@ -1,0 +1,67 @@
+package ev8pred_test
+
+// Table-driven warmup sweep: for every predictor family, warmup windows
+// inside, at, and far beyond the stream length must all yield Results
+// that pass Validate and keep Mispredicts <= Branches <= Instructions.
+// The beyond-stream cases pin the boundary fix in sim.Run's warmup clamp:
+// when the stream ends at or before the warmup boundary, zero branches
+// were measured and the Result must say so.
+
+import (
+	"testing"
+
+	"ev8pred"
+)
+
+func TestWarmupSweepAllPredictors(t *testing.T) {
+	const instr = 60_000
+	prof, err := ev8pred.BenchmarkByName("gcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Establish the stream's branch count once so the sweep can place
+	// warmup values relative to it.
+	bp, err := ev8pred.NewBimodal(1 << 14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline, err := ev8pred.RunBenchmark(bp, prof, instr,
+		ev8pred.Options{Mode: ev8pred.ModeGhist()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := baseline.Branches
+	if total == 0 {
+		t.Fatal("baseline run saw no branches")
+	}
+	warmups := []int64{0, 1, 100, total / 2, total - 1, total, total + 1, 10 * total}
+
+	for _, tc := range fusedRoster() {
+		t.Run(tc.name, func(t *testing.T) {
+			for _, w := range warmups {
+				p, err := tc.make()
+				if err != nil {
+					t.Fatal(err)
+				}
+				r, err := ev8pred.RunBenchmark(p, prof, instr,
+					ev8pred.Options{Mode: tc.mode, Warmup: w})
+				if err != nil {
+					t.Fatalf("warmup=%d: %v", w, err)
+				}
+				if err := r.Validate(); err != nil {
+					t.Errorf("warmup=%d: %v", w, err)
+				}
+				if r.Mispredicts > r.Branches || r.Branches > r.Instructions {
+					t.Errorf("warmup=%d: ordering violated: %+v", w, r)
+				}
+				if w >= total && r.Branches != 0 {
+					t.Errorf("warmup=%d >= stream length %d: measured %d branches, want 0",
+						w, total, r.Branches)
+				}
+				if w < total && r.Branches != total-w {
+					t.Errorf("warmup=%d: measured %d branches, want %d", w, r.Branches, total-w)
+				}
+			}
+		})
+	}
+}
