@@ -4,21 +4,24 @@
 GO ?= go
 STATICCHECK_VERSION ?= 2025.1.1
 
-.PHONY: all build vet staticcheck test race bench bench-baseline check report fuzz faultinject examples clean
+.PHONY: all build vet staticcheck test race bench bench-baseline bench-ensemble check report fuzz faultinject examples clean
 
 all: build vet test
 
 # The full gate CI runs: static checks, build, the test suite under the
 # race detector, the hot-path zero-allocation gates (without -race, where
 # allocation accounting is exact), the trace fault-injection suite, a
-# short decoder fuzz smoke, and benchmark smokes so neither the
-# testing.B harness nor the per-predictor microbenchmarks can rot.
+# short decoder fuzz smoke, the ensemble differential suite (single-pass
+# ensemble results must be byte-identical to per-cell runs), and
+# benchmark smokes so neither the testing.B harness nor the
+# per-predictor microbenchmarks can rot.
 check:
 	$(GO) vet ./...
 	$(MAKE) staticcheck
 	$(GO) build ./...
 	$(GO) test -race ./...
-	$(GO) test -run 'TestHotPathZeroAllocs|TestDelayedUpdateZeroAllocsSteadyState' -count=1 .
+	$(GO) test -run 'TestHotPathZeroAllocs|TestDelayedUpdateZeroAllocsSteadyState|TestEnsembleZeroAllocsSteadyState' -count=1 .
+	$(GO) test -run 'TestEnsemble' -count=1 . ./internal/sim/
 	$(GO) test -run 'TestFault' -count=1 ./internal/trace/faultinject/
 	$(GO) test -fuzz FuzzReader -fuzztime 30s -run '^$$' ./internal/trace/
 	$(GO) test -bench=Table1 -benchtime=1x -run '^$$' .
@@ -61,6 +64,13 @@ bench:
 # see docs/PERFORMANCE.md for how the numbers are defined and compared.
 bench-baseline:
 	$(GO) run ./cmd/benchbaseline -o BENCH_baseline.json
+
+# Refresh the ensemble-engine snapshot: suite-level ns/branch for a
+# multi-configuration sweep under the per-cell and single-pass ensemble
+# schedules at equal worker counts, plus the resulting speedup (see
+# docs/PERFORMANCE.md, "Ensemble execution").
+bench-ensemble:
+	$(GO) run ./cmd/benchensemble -o BENCH_ensemble.json
 
 # Regenerate every table and figure of the paper (10M instructions per
 # benchmark; the paper's full scale is -instructions 100000000).

@@ -1,0 +1,198 @@
+// Command benchensemble measures suite-level sweep throughput under the
+// per-cell and single-pass ensemble schedules and writes the
+// machine-readable snapshot BENCH_ensemble.json, the companion of
+// BENCH_baseline.json for the ensemble engine (sim.RunEnsemble).
+//
+// Usage:
+//
+//	benchensemble [-o BENCH_ensemble.json] [-instructions N] [-configs K] [-j workers]
+//
+// Each recorded suite is a K-configuration parameter sweep (the
+// internal/hotbench rosters: a gshare history sweep, where generation
+// and front end dominate a per-cell run, and a 2Bc-gskew history sweep,
+// where the predictor step dominates) over every benchmark, run twice at
+// the same worker count: once per-cell (EnsembleOff, every cell advances
+// its own stream) and once grouped (EnsembleOn, one stream pass per
+// benchmark shared by all K members). The tool verifies the two
+// schedules produce identical results before recording their timings;
+// the speedup field is per_cell/ensemble ns_per_branch.
+//
+// `make bench-ensemble` regenerates the committed snapshot.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"reflect"
+	"runtime"
+	"time"
+
+	"ev8pred/internal/frontend"
+	"ev8pred/internal/hotbench"
+	"ev8pred/internal/sim"
+	"ev8pred/internal/workload"
+)
+
+// metric is one measured schedule of one suite.
+type metric struct {
+	NsPerBranch    float64 `json:"ns_per_branch"`
+	BranchesPerSec float64 `json:"branches_per_sec"`
+	WallSeconds    float64 `json:"wall_seconds"`
+}
+
+// suite records the per-cell/ensemble pair for one sweep roster.
+type suite struct {
+	Configs       int     `json:"configs"`
+	Benchmarks    int     `json:"benchmarks"`
+	TotalBranches int64   `json:"total_branches"`
+	PerCell       metric  `json:"per_cell"`
+	Ensemble      metric  `json:"ensemble"`
+	Speedup       float64 `json:"speedup"`
+}
+
+// document is the BENCH_ensemble.json schema.
+type document struct {
+	Schema            int              `json:"schema"`
+	GoVersion         string           `json:"go_version"`
+	GOOS              string           `json:"goos"`
+	GOARCH            string           `json:"goarch"`
+	Workers           int              `json:"workers"`
+	InstructionsPerBM int64            `json:"instructions_per_benchmark"`
+	Suites            map[string]suite `json:"suites"`
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchensemble:", err)
+		os.Exit(1)
+	}
+}
+
+// run executes the tool; the report goes to out unless -o names a file.
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("benchensemble", flag.ContinueOnError)
+	var (
+		outPath      = fs.String("o", "", "write the JSON snapshot to this file instead of stdout")
+		instructions = fs.Int64("instructions", 2_000_000, "instructions per benchmark per cell")
+		configs      = fs.Int("configs", 8, "configurations per sweep (ensemble width)")
+		workers      = fs.Int("j", 0, "workers for both schedules (0 = one per CPU)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *instructions <= 0 || *configs < 2 {
+		return fmt.Errorf("-instructions must be positive and -configs at least 2")
+	}
+
+	doc := document{
+		Schema:            1,
+		GoVersion:         runtime.Version(),
+		GOOS:              runtime.GOOS,
+		GOARCH:            runtime.GOARCH,
+		Workers:           effectiveWorkers(*workers),
+		InstructionsPerBM: *instructions,
+		Suites:            map[string]suite{},
+	}
+
+	rosters := []struct {
+		name      string
+		factories []sim.Factory
+	}{
+		{fmt.Sprintf("gshare_history_%dx", *configs), hotbench.GshareSweepFactories(*configs)},
+		{fmt.Sprintf("2bcg_history_%dx", *configs), hotbench.GskewSweepFactories(*configs)},
+	}
+	for _, r := range rosters {
+		s, err := measureSuite(r.factories, *instructions, *workers)
+		if err != nil {
+			return fmt.Errorf("%s: %w", r.name, err)
+		}
+		doc.Suites[r.name] = s
+	}
+
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if *outPath != "" {
+		return os.WriteFile(*outPath, data, 0o644)
+	}
+	_, err = out.Write(data)
+	return err
+}
+
+// measureSuite times one sweep roster under both schedules at the same
+// worker count, after verifying they produce identical results.
+func measureSuite(factories []sim.Factory, instructions int64, workers int) (suite, error) {
+	profs := workload.Benchmarks()
+	opts := sim.Options{Mode: frontend.ModeGhist()}
+
+	// Warm run of both schedules; identical results are a precondition
+	// for the timing comparison to mean anything.
+	warm := min64(instructions, 100_000)
+	perCellRs, _, err := hotbench.RunSweep(factories, profs, warm, workers, sim.EnsembleOff, opts)
+	if err != nil {
+		return suite{}, err
+	}
+	groupedRs, _, err := hotbench.RunSweep(factories, profs, warm, workers, sim.EnsembleOn, opts)
+	if err != nil {
+		return suite{}, err
+	}
+	if !reflect.DeepEqual(perCellRs, groupedRs) {
+		return suite{}, fmt.Errorf("per-cell and ensemble schedules diverged on the warm run")
+	}
+
+	perCell, branches, err := timeSweep(factories, profs, instructions, workers, sim.EnsembleOff, opts)
+	if err != nil {
+		return suite{}, err
+	}
+	grouped, _, err := timeSweep(factories, profs, instructions, workers, sim.EnsembleOn, opts)
+	if err != nil {
+		return suite{}, err
+	}
+	return suite{
+		Configs:       len(factories),
+		Benchmarks:    len(profs),
+		TotalBranches: branches,
+		PerCell:       perCell,
+		Ensemble:      grouped,
+		Speedup:       perCell.NsPerBranch / grouped.NsPerBranch,
+	}, nil
+}
+
+// timeSweep runs one schedule once and converts to per-branch metrics.
+func timeSweep(factories []sim.Factory, profs []workload.Profile, instructions int64, workers int, mode sim.EnsembleMode, opts sim.Options) (metric, int64, error) {
+	start := time.Now()
+	_, branches, err := hotbench.RunSweep(factories, profs, instructions, workers, mode, opts)
+	elapsed := time.Since(start)
+	if err != nil {
+		return metric{}, 0, err
+	}
+	if branches == 0 {
+		return metric{}, 0, fmt.Errorf("degenerate sweep: zero branches")
+	}
+	ns := float64(elapsed.Nanoseconds()) / float64(branches)
+	return metric{
+		NsPerBranch:    ns,
+		BranchesPerSec: 1e9 / ns,
+		WallSeconds:    elapsed.Seconds(),
+	}, branches, nil
+}
+
+// effectiveWorkers resolves the -j default for the snapshot.
+func effectiveWorkers(j int) int {
+	if j <= 0 {
+		return sim.DefaultWorkers()
+	}
+	return j
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

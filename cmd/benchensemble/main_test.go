@@ -1,0 +1,77 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRunWritesSnapshot runs a scaled-down measurement and validates the
+// JSON document shape: both sweep rosters present, positive rates on
+// both schedules, and the recorded speedup consistent with the pair of
+// ns/branch figures. (The ≥2x acceptance claim is only meaningful at
+// full scale; the committed BENCH_ensemble.json records that run.)
+func TestRunWritesSnapshot(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ensemble.json")
+	var sb strings.Builder
+	if err := run([]string{"-o", path, "-instructions", "60000", "-configs", "4"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if sb.Len() != 0 {
+		t.Error("-o should redirect output away from stdout")
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc document
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if doc.Schema != 1 {
+		t.Errorf("schema = %d, want 1", doc.Schema)
+	}
+	if doc.Workers <= 0 {
+		t.Errorf("workers = %d, want positive", doc.Workers)
+	}
+	for _, name := range []string{"gshare_history_4x", "2bcg_history_4x"} {
+		s, ok := doc.Suites[name]
+		if !ok {
+			t.Errorf("missing suite %q (have %v)", name, keys(doc.Suites))
+			continue
+		}
+		if s.Configs != 4 || s.Benchmarks == 0 || s.TotalBranches == 0 {
+			t.Errorf("%s: degenerate shape: %+v", name, s)
+		}
+		if s.PerCell.NsPerBranch <= 0 || s.Ensemble.NsPerBranch <= 0 {
+			t.Errorf("%s: non-positive rate: %+v", name, s)
+		}
+		want := s.PerCell.NsPerBranch / s.Ensemble.NsPerBranch
+		if diff := s.Speedup - want; diff > 1e-9 || diff < -1e-9 {
+			t.Errorf("%s: speedup %v inconsistent with metrics (want %v)", name, s.Speedup, want)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-instructions", "0"}, &sb); err == nil {
+		t.Error("zero -instructions accepted")
+	}
+	if err := run([]string{"-configs", "1"}, &sb); err == nil {
+		t.Error("single-config sweep accepted")
+	}
+	if err := run([]string{"-badflag"}, &sb); err == nil {
+		t.Error("bad flag accepted")
+	}
+}
+
+func keys(m map[string]suite) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -5,7 +5,8 @@
 //
 //	ev8bench [-experiment all|none|table1|table2|fig5|...|ablations|perf|smt|backup]
 //	         [-instructions N] [-benchmarks gcc,go,...] [-o report.txt]
-//	         [-j workers] [-v] [-stats] [-json stats.json] [-csv stats.csv]
+//	         [-j workers] [-ensemble auto|on|off] [-v]
+//	         [-stats] [-json stats.json] [-csv stats.csv]
 //	         [-expvar localhost:8080]
 //	         [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
@@ -13,8 +14,13 @@
 // benchmark (the paper uses 100M; pass -instructions 100000000 for the
 // full-scale run). Simulation cells — one cold predictor over one
 // benchmark — run in parallel across the CPUs (-j 1 forces the serial
-// debugging path); the report is byte-identical for every -j. -v prints a
-// cells/throughput progress counter to stderr.
+// debugging path); the report is byte-identical for every -j. -ensemble
+// controls the single-pass ensemble scheduler: cells that evaluate
+// different configurations over the same benchmark can share one
+// generated stream and one front-end pass ("auto" groups when the
+// amortization can win, "on" forces it, "off" forces per-cell runs; the
+// report is byte-identical in every mode, see docs/PERFORMANCE.md). -v
+// prints a cells/throughput progress counter to stderr.
 //
 // -stats runs the component-attribution suite: the default EV8 predictor
 // over every selected benchmark with collection enabled, emitted as JSON
@@ -104,6 +110,7 @@ func run(args []string, out, errw io.Writer) error {
 		benchmarks   = fs.String("benchmarks", "", "comma-separated benchmark subset (default: all eight)")
 		outPath      = fs.String("o", "", "write the report to this file instead of stdout")
 		workers      = fs.Int("j", 0, "parallel simulation cells (0 = one per CPU, 1 = serial)")
+		ensemble     = fs.String("ensemble", "auto", "single-pass ensemble scheduling: auto|on|off (results identical in every mode)")
 		verbose      = fs.Bool("v", false, "print a progress/throughput counter to stderr")
 		statsSuite   = fs.Bool("stats", false, "run the EV8 component-attribution suite and emit it as JSON")
 		jsonPath     = fs.String("json", "", "write the -stats JSON to this file instead of the report stream")
@@ -147,7 +154,11 @@ func run(args []string, out, errw io.Writer) error {
 		}()
 	}
 
-	cfg := experiments.Config{Instructions: *instructions, Workers: *workers}
+	ensembleMode, err := sim.ParseEnsembleMode(*ensemble)
+	if err != nil {
+		return err
+	}
+	cfg := experiments.Config{Instructions: *instructions, Workers: *workers, Ensemble: ensembleMode}
 	if *benchmarks == "" {
 		cfg.Benchmarks = workload.Benchmarks()
 	} else {
@@ -292,7 +303,7 @@ func runStatsSuite(cfg experiments.Config) ([]report.Run, error) {
 	opts := sim.Options{Mode: frontend.ModeEV8(), Collect: true}
 	results, err := sim.RunCells(context.Background(),
 		sim.SuiteCells(factory, cfg.Benchmarks, opts), cfg.Instructions,
-		sim.PoolOptions{Workers: cfg.Workers, Progress: cfg.Progress})
+		sim.PoolOptions{Workers: cfg.Workers, Progress: cfg.Progress, Ensemble: cfg.Ensemble})
 	if err != nil {
 		return nil, fmt.Errorf("stats suite: %w", err)
 	}

@@ -151,3 +151,38 @@ func TestRunVerboseProgress(t *testing.T) {
 		t.Error("progress leaked into the report stream")
 	}
 }
+
+// TestRunEnsembleModesIdenticalReport: the report must be byte-identical
+// under per-cell and single-pass ensemble scheduling (timing lines
+// stripped), and a bad -ensemble value must be rejected.
+func TestRunEnsembleModesIdenticalReport(t *testing.T) {
+	render := func(mode string) string {
+		var sb, eb strings.Builder
+		err := run([]string{
+			"-experiment", "fig10", "-benchmarks", "li,m88ksim",
+			"-instructions", "100000", "-ensemble", mode,
+		}, &sb, &eb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var kept []string
+		for _, line := range strings.Split(sb.String(), "\n") {
+			if strings.Contains(line, "s)") && strings.HasPrefix(strings.TrimSpace(line), "(") {
+				continue // per-experiment timing line
+			}
+			kept = append(kept, line)
+		}
+		return strings.Join(kept, "\n")
+	}
+	off := render("off")
+	for _, mode := range []string{"auto", "on"} {
+		if got := render(mode); got != off {
+			t.Errorf("-ensemble %s report differs from -ensemble off:\n--- %s ---\n%s\n--- off ---\n%s",
+				mode, mode, got, off)
+		}
+	}
+	var sb, eb strings.Builder
+	if err := run([]string{"-ensemble", "nonesuch"}, &sb, &eb); err == nil {
+		t.Error("unknown ensemble mode accepted")
+	}
+}

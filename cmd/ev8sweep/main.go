@@ -14,7 +14,10 @@
 // Flags -benchmarks and -instructions scope the run; -mode selects the
 // information vector. Every (value × benchmark) cell runs in parallel
 // across the CPUs (-j 1 forces the serial path); the table is
-// byte-identical for every -j.
+// byte-identical for every -j. A K-value sweep visits each benchmark K
+// times with identical streams, so the harness schedules one single-pass
+// ensemble per benchmark when that amortization can win (-ensemble
+// auto|on|off; the table is byte-identical in every mode).
 //
 // -stats collects component-attribution counters per cell (predictors
 // that support them; see docs/OBSERVABILITY.md); -json emits every cell
@@ -59,6 +62,7 @@ func run(args []string, out io.Writer) error {
 		instructions = fs.Int64("instructions", 5_000_000, "instructions per benchmark")
 		modeName     = fs.String("mode", "ghist", "information vector: ghist|lghist|ev8")
 		workers      = fs.Int("j", 0, "parallel simulation cells (0 = one per CPU, 1 = serial)")
+		ensemble     = fs.String("ensemble", "auto", "single-pass ensemble scheduling: auto|on|off (results identical in every mode)")
 		collect      = fs.Bool("stats", false, "collect component-attribution counters (predictors that support them)")
 		jsonPath     = fs.String("json", "", "emit per-cell results as JSON to this file ('-' = stdout, replacing the table)")
 	)
@@ -103,8 +107,12 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
+	ensembleMode, err := sim.ParseEnsembleMode(*ensemble)
+	if err != nil {
+		return err
+	}
 	pts, err := sweep.Run(factory, xs, profsList, *instructions,
-		sim.Options{Mode: mode, Workers: *workers, Collect: *collect})
+		sim.Options{Mode: mode, Workers: *workers, Collect: *collect, Ensemble: ensembleMode})
 	if err != nil {
 		return err
 	}

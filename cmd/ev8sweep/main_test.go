@@ -73,3 +73,30 @@ func TestBuildFactoryCoverage(t *testing.T) {
 		}
 	}
 }
+
+// TestRunEnsembleModesIdenticalTable: the sweep table must be
+// byte-identical whether the harness runs per-cell or single-pass
+// ensembles, and a bad -ensemble value must be rejected.
+func TestRunEnsembleModesIdenticalTable(t *testing.T) {
+	sweep := func(mode string) string {
+		var sb strings.Builder
+		err := run([]string{
+			"-scheme", "gshare", "-param", "history", "-values", "6,10,14",
+			"-benchmarks", "li,go", "-instructions", "100000", "-ensemble", mode,
+		}, &sb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+	off := sweep("off")
+	for _, mode := range []string{"auto", "on"} {
+		if got := sweep(mode); got != off {
+			t.Errorf("-ensemble %s table differs from -ensemble off:\n%s\n---\n%s", mode, got, off)
+		}
+	}
+	var sb strings.Builder
+	if err := run([]string{"-values", "4", "-ensemble", "nonesuch"}, &sb); err == nil {
+		t.Error("unknown ensemble mode accepted")
+	}
+}

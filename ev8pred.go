@@ -56,6 +56,15 @@ type (
 	Options = sim.Options
 	// Result summarizes a simulation run (misp/KI, accuracy).
 	Result = sim.Result
+	// Factory builds one cold predictor instance (ensemble members,
+	// simulation cells).
+	Factory = sim.Factory
+	// EnsembleMode selects per-cell vs single-pass ensemble scheduling.
+	EnsembleMode = sim.EnsembleMode
+	// BatchSource is a Source that can also deliver records in batches;
+	// the simulator uses NextBatch when available to amortize per-record
+	// interface-call overhead.
+	BatchSource = trace.BatchSource
 	// Profile parameterizes a synthetic benchmark workload.
 	Profile = workload.Profile
 	// CoreConfig parameterizes a 2Bc-gskew predictor.
@@ -142,4 +151,29 @@ func Run(p Predictor, src Source, opts Options) (Result, error) { return sim.Run
 // RunBenchmark simulates a predictor over a synthetic benchmark.
 func RunBenchmark(p Predictor, prof Profile, instructions int64, opts Options) (Result, error) {
 	return sim.RunBenchmark(p, prof, instructions, opts)
+}
+
+// Ensemble scheduling modes (see RunEnsemble and Options.Ensemble).
+const (
+	// EnsembleAuto groups cells into per-workload ensembles only when the
+	// amortization can win (the default).
+	EnsembleAuto = sim.EnsembleAuto
+	// EnsembleOn always groups cells that share a workload.
+	EnsembleOn = sim.EnsembleOn
+	// EnsembleOff always simulates cells independently.
+	EnsembleOff = sim.EnsembleOff
+)
+
+// RunEnsemble simulates every factory-built predictor over ONE shared
+// pass of src: the stream is advanced once and its front-end state
+// computed once, shared by all members. Results (one per factory, in
+// factory order) are byte-identical to running each member through Run
+// over its own copy of the stream.
+func RunEnsemble(factories []Factory, src Source, opts Options) ([]Result, error) {
+	return sim.RunEnsemble(factories, src, opts)
+}
+
+// RunEnsembleBenchmark runs an ensemble over a synthetic benchmark.
+func RunEnsembleBenchmark(factories []Factory, prof Profile, instructions int64, opts Options) ([]Result, error) {
+	return sim.RunEnsembleBenchmark(factories, prof, instructions, opts)
 }

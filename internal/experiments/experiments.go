@@ -34,6 +34,12 @@ type Config struct {
 	// one worker per CPU, 1 forces the serial debugging path. Rendered
 	// tables are byte-identical for every worker count.
 	Workers int
+	// Ensemble selects the pool's cell-grouping policy: auto (the zero
+	// value) collapses the (column × benchmark) fan-outs into one
+	// single-pass ensemble per benchmark when that amortization can win,
+	// on forces it, off forces per-cell runs. Rendered tables are
+	// byte-identical in every mode.
+	Ensemble sim.EnsembleMode
 	// Progress, if non-nil, receives one event per completed simulation
 	// cell (cmd/ev8bench -v wires a throughput counter here).
 	Progress sim.ProgressFunc
@@ -41,7 +47,7 @@ type Config struct {
 
 // pool returns the fan-out configuration shared by every generator.
 func (cfg Config) pool() sim.PoolOptions {
-	return sim.PoolOptions{Workers: cfg.Workers, Progress: cfg.Progress}
+	return sim.PoolOptions{Workers: cfg.Workers, Progress: cfg.Progress, Ensemble: cfg.Ensemble}
 }
 
 // Default returns the standard harness configuration.
@@ -129,8 +135,11 @@ type column struct {
 }
 
 // runColumns fans every (column × benchmark) cell through ONE pool run —
-// a flat fan-out load-balances better than per-column suites — and
-// returns the per-column series in benchmark order, keyed by column name.
+// a flat fan-out load-balances better than per-column suites, and it
+// hands the pool's ensemble scheduler the whole figure at once, so
+// columns sharing an option set collapse to one stream pass per
+// benchmark — and returns the per-column series in benchmark order,
+// keyed by column name.
 func runColumns(cfg Config, cols []column) (map[string][]sim.Result, error) {
 	nb := len(cfg.Benchmarks)
 	cells := make([]sim.Cell, 0, len(cols)*nb)

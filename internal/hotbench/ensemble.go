@@ -1,0 +1,74 @@
+// Ensemble measurement substrate: canonical multi-configuration sweeps
+// for quantifying the single-pass ensemble engine (sim.RunEnsemble)
+// against the per-cell schedule. BenchmarkSweep* and cmd/benchensemble
+// (which writes BENCH_ensemble.json) share these rosters so the numbers
+// they report describe the same workload.
+package hotbench
+
+import (
+	"context"
+	"fmt"
+
+	"ev8pred/internal/core"
+	"ev8pred/internal/predictor"
+	"ev8pred/internal/predictor/gshare"
+	"ev8pred/internal/sim"
+	"ev8pred/internal/workload"
+)
+
+// GshareSweepFactories returns k gshare configurations differing only in
+// history length — the shape of an ev8sweep history sweep, and the case
+// where ensemble amortization matters most (the predictor step is cheap,
+// so generation + front end dominate a per-cell run).
+func GshareSweepFactories(k int) []sim.Factory {
+	factories := make([]sim.Factory, k)
+	for i := range factories {
+		h := 8 + 2*i
+		factories[i] = func() (predictor.Predictor, error) {
+			return gshare.New(1<<16, min(h, 32))
+		}
+	}
+	return factories
+}
+
+// GskewSweepFactories returns k 2Bc-gskew configurations sweeping the G1
+// history length (the ev8sweep 2bcg/history shape) — a heavier predictor
+// step, so the ensemble win is smaller but still real.
+func GskewSweepFactories(k int) []sim.Factory {
+	factories := make([]sim.Factory, k)
+	for i := range factories {
+		h := 13 + 2*i
+		factories[i] = func() (predictor.Predictor, error) {
+			c := core.Config512K()
+			c.Banks[core.G1].HistLen = h
+			c.Banks[core.Meta].HistLen = h * 3 / 4
+			c.Banks[core.G0].HistLen = h * 2 / 3
+			c.Name = fmt.Sprintf("2bcg-512K-g1h%d", h)
+			return core.New(c)
+		}
+	}
+	return factories
+}
+
+// RunSweep executes a (factory × profile) sweep through the pool under
+// the given ensemble mode at the given worker count and returns the
+// results in (factory-major, profile-minor) order plus the total branch
+// count — the common body of the sweep benchmarks and cmd/benchensemble.
+func RunSweep(factories []sim.Factory, profs []workload.Profile, instructions int64, workers int, mode sim.EnsembleMode, opts sim.Options) ([]sim.Result, int64, error) {
+	cells := make([]sim.Cell, 0, len(factories)*len(profs))
+	for _, f := range factories {
+		for _, prof := range profs {
+			cells = append(cells, sim.Cell{Factory: f, Profile: prof, Opts: opts})
+		}
+	}
+	rs, err := sim.RunCells(context.Background(), cells, instructions,
+		sim.PoolOptions{Workers: workers, Ensemble: mode})
+	if err != nil {
+		return nil, 0, err
+	}
+	var branches int64
+	for _, r := range rs {
+		branches += r.Branches
+	}
+	return rs, branches, nil
+}

@@ -1,0 +1,82 @@
+package hotbench
+
+import (
+	"reflect"
+	"testing"
+
+	"ev8pred/internal/frontend"
+	"ev8pred/internal/sim"
+	"ev8pred/internal/workload"
+)
+
+// sweepInstr keeps the benchmark sweeps fast enough for -count=10 runs
+// while staying long past predictor warm-up transients.
+const sweepInstr = 200_000
+
+// runSweepBench measures one (factories × suite) sweep under the given
+// ensemble mode, reporting ns/branch across the whole fan-out. Per-cell
+// and ensemble variants run the identical cell list at the identical
+// worker count, so the ratio of their ns/branch IS the ensemble speedup.
+func runSweepBench(b *testing.B, factories []sim.Factory, mode sim.EnsembleMode) {
+	b.Helper()
+	profs := workload.Benchmarks()
+	opts := sim.Options{Mode: frontend.ModeGhist()}
+	var branches int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		_, branches, err = RunSweep(factories, profs, sweepInstr, 0, mode, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if branches > 0 {
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(branches), "ns/branch")
+	}
+}
+
+// BenchmarkSweepPerCell8xGshare is the pre-ensemble schedule: every cell
+// of an 8-configuration gshare history sweep generates and front-end
+// processes its own copy of each benchmark stream.
+func BenchmarkSweepPerCell8xGshare(b *testing.B) {
+	runSweepBench(b, GshareSweepFactories(8), sim.EnsembleOff)
+}
+
+// BenchmarkSweepEnsemble8xGshare is the same sweep under the single-pass
+// ensemble engine: one stream pass per benchmark, shared by all eight
+// configurations.
+func BenchmarkSweepEnsemble8xGshare(b *testing.B) {
+	runSweepBench(b, GshareSweepFactories(8), sim.EnsembleOn)
+}
+
+// BenchmarkSweepPerCell8xGskew / BenchmarkSweepEnsemble8xGskew repeat the
+// comparison with the heavier 2Bc-gskew family, where the predictor step
+// dominates and the amortization win is smaller.
+func BenchmarkSweepPerCell8xGskew(b *testing.B) {
+	runSweepBench(b, GskewSweepFactories(8), sim.EnsembleOff)
+}
+
+func BenchmarkSweepEnsemble8xGskew(b *testing.B) {
+	runSweepBench(b, GskewSweepFactories(8), sim.EnsembleOn)
+}
+
+// TestSweepModesAgree pins the property the benchmarks rely on: the two
+// schedules being compared produce identical results, so their timing
+// difference measures schedule cost alone.
+func TestSweepModesAgree(t *testing.T) {
+	profs := workload.Benchmarks()[:2]
+	factories := GshareSweepFactories(4)
+	opts := sim.Options{Mode: frontend.ModeGhist()}
+	perCell, _, err := RunSweep(factories, profs, 50_000, 1, sim.EnsembleOff, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grouped, _, err := RunSweep(factories, profs, 50_000, 1, sim.EnsembleOn, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(perCell, grouped) {
+		t.Fatalf("per-cell and ensemble sweeps diverged:\noff: %+v\non:  %+v", perCell, grouped)
+	}
+}

@@ -1,0 +1,294 @@
+// Single-pass ensemble execution: run N predictor configurations over ONE
+// traversal of a branch stream. The workload generation and the
+// predictor-independent front end — fetch-block formation and the
+// three-blocks-old lghist/path state (§2, §5 of the paper) — are computed
+// exactly once per branch and fanned across the ensemble members, so a
+// K-configuration sweep pays the dominant non-predictor cost once instead
+// of K times. Every figure of the paper evaluates many configurations
+// over the same eight streams; this is the engine that makes those sweeps
+// cheap, in the trace-reuse tradition of the CBP championship kits.
+//
+// Correctness contract: the member results are byte-identical to N
+// independent sim.Run calls over equal sources — same Branches,
+// Mispredicts, Instructions, and (under Options.Collect) the same
+// attribution counters. The repo-level ensemble differential suite pins
+// this for every predictor family, benchmark, and update delay.
+package sim
+
+import (
+	"fmt"
+	"io"
+
+	"ev8pred/internal/frontend"
+	"ev8pred/internal/history"
+	"ev8pred/internal/predictor"
+	"ev8pred/internal/stats"
+	"ev8pred/internal/trace"
+	"ev8pred/internal/workload"
+)
+
+// ensembleBatch is the record batch the ensemble loop pulls per source
+// call when the source implements trace.BatchSource. Big enough to
+// amortize the call, small enough to stay cache-resident (48 B/record ×
+// 1024 = 48 KB).
+const ensembleBatch = 1024
+
+// member is the per-configuration state of one ensemble slot: the
+// predictor with its fused fast path, its own commit-delay ring, its own
+// mispredict counter and its own attribution hook. Everything shared
+// (stream position, trackers, the information vector, warmup gating)
+// lives in RunEnsemble's locals.
+type member struct {
+	p           predictor.Predictor
+	fp          predictor.FusedPredictor
+	fused       bool
+	inst        stats.Instrumented
+	ring        []pendingUpdate
+	head, count int
+	mispredicts int64
+}
+
+// apply retires one pending update into the member's predictor.
+func (m *member) apply(u *pendingUpdate) {
+	if m.fused {
+		m.fp.UpdateWith(u.snap, u.taken)
+	} else {
+		m.p.Update(&u.info, u.taken)
+	}
+}
+
+// drain retires every pending update at end of stream, oldest first —
+// the same queue flush sim.Run performs.
+func (m *member) drain() {
+	for m.count > 0 {
+		m.apply(&m.ring[m.head])
+		m.head++
+		if m.head == len(m.ring) {
+			m.head = 0
+		}
+		m.count--
+	}
+}
+
+// fillBatch pulls the next run of records into buf: one NextBatch call
+// when the source supports batching, a per-record Next loop otherwise.
+// Both legs normalize to the trace.BatchSource contract — records first,
+// then io.EOF for a clean end or the source's terminal error.
+func fillBatch(src trace.Source, bs trace.BatchSource, buf []trace.Branch) (int, error) {
+	if bs != nil {
+		return bs.NextBatch(buf)
+	}
+	for i := range buf {
+		b, ok := src.Next()
+		if !ok {
+			if err := trace.SourceErr(src); err != nil {
+				return i, err
+			}
+			return i, io.EOF
+		}
+		buf[i] = b
+	}
+	return len(buf), nil
+}
+
+// RunEnsemble simulates one cold predictor per factory over a single
+// traversal of src. The stream is advanced once: each branch's front-end
+// state (per-thread tracker, fetch-block formation, the mode's history
+// variant) and information vector are computed exactly once and handed to
+// every member, and members that observe fetch blocks (BlockObserver, the
+// EV8 bank sequencer) all see the one shared block stream. Per member it
+// keeps the exact semantics of Run — the fused Lookup/UpdateWith path
+// when available, a private commit-delay ring under opts.UpdateDelay, and
+// private attribution counters under opts.Collect — so the returned
+// Results (factory order) are byte-identical to len(factories)
+// independent Run calls over equal sources.
+//
+// All members share opts; in particular they see the same information
+// vector (opts.Mode) — schemes needing different modes belong in
+// different ensembles. When src implements trace.BatchSource the stream
+// is pulled in batches; note that under opts.MaxBranches the source may
+// then have been advanced past the last processed record. The per-branch
+// loop allocates nothing in steady state, per member, preserving the
+// repo's hot-path discipline.
+//
+// Errors: a factory failure aborts before any simulation; a mid-stream
+// source failure returns the partial Results with the same error shape as
+// Run. An empty factory list returns an empty, non-nil slice without
+// touching src.
+func RunEnsemble(factories []Factory, src trace.Source, opts Options) ([]Result, error) {
+	results := make([]Result, len(factories))
+	if len(factories) == 0 {
+		return results, nil
+	}
+	members := make([]member, len(factories))
+	var observers []BlockObserver
+	for i, mk := range factories {
+		p, err := mk()
+		if err != nil {
+			return nil, fmt.Errorf("sim: building ensemble member %d: %w", i, err)
+		}
+		m := &members[i]
+		m.p = p
+		m.fp, m.fused = p.(predictor.FusedPredictor)
+		if opts.Collect {
+			if inst, ok := p.(stats.Instrumented); ok {
+				m.inst = inst
+				inst.EnableStats(true)
+			}
+		}
+		if opts.UpdateDelay > 0 {
+			m.ring = make([]pendingUpdate, opts.UpdateDelay)
+		}
+		if obs, ok := p.(BlockObserver); ok {
+			observers = append(observers, obs)
+		}
+		results[i] = Result{Predictor: p.Name(), SizeBits: p.SizeBits()}
+	}
+	// One tracker callback fans the shared block stream out to every
+	// observing member, in member order.
+	var onBlock func(frontend.Block)
+	if len(observers) > 0 {
+		onBlock = func(b frontend.Block) {
+			for _, obs := range observers {
+				obs.ObserveBlock(b)
+			}
+		}
+	}
+
+	var (
+		trackers     trackerTable
+		branches     int64 // conditional branches processed (pre-warmup-clamp)
+		instructions int64 // instructions over the measured window
+		srcErr       error
+		// info is hoisted exactly as in Run: its address crosses
+		// interface calls, so a loop-local would escape per branch.
+		info   history.Info
+		isCond bool
+	)
+	bs, _ := src.(trace.BatchSource)
+	buf := make([]trace.Branch, ensembleBatch)
+
+stream:
+	for {
+		if opts.MaxBranches > 0 && branches >= opts.MaxBranches {
+			break
+		}
+		n, ferr := fillBatch(src, bs, buf)
+		for bi := 0; bi < n; bi++ {
+			if opts.MaxBranches > 0 && branches >= opts.MaxBranches {
+				break stream
+			}
+			b := buf[bi]
+			tr := trackers.lookup(b.Thread)
+			if tr == nil {
+				var err error
+				tr, err = trackers.create(b.Thread, opts, onBlock)
+				if err != nil {
+					return results, err
+				}
+			}
+			info, isCond = tr.Process(b)
+			// The warmup gate is identical to Run's: a record is
+			// measured iff at least Warmup conditional branches retired
+			// before it, and the same boundary gates numerator and
+			// denominator.
+			measured := branches >= opts.Warmup
+			if measured {
+				instructions += int64(b.Gap) + 1
+			}
+			if !isCond {
+				continue
+			}
+			for k := range members {
+				m := &members[k]
+				var pred bool
+				var snap predictor.Snapshot
+				if m.fused {
+					snap = m.fp.Lookup(&info)
+					pred = snap.Final
+				} else {
+					pred = m.p.Predict(&info)
+				}
+				if measured && pred != b.Taken {
+					m.mispredicts++
+				}
+				switch {
+				case opts.UpdateDelay > 0:
+					// FIFO through the member's private ring, exactly
+					// as in Run: full ⇒ the oldest pending update
+					// retires and its slot is reused.
+					if m.count == len(m.ring) {
+						m.apply(&m.ring[m.head])
+						m.ring[m.head] = pendingUpdate{info: info, snap: snap, taken: b.Taken}
+						m.head++
+						if m.head == len(m.ring) {
+							m.head = 0
+						}
+					} else {
+						slot := m.head + m.count
+						if slot >= len(m.ring) {
+							slot -= len(m.ring)
+						}
+						m.ring[slot] = pendingUpdate{info: info, snap: snap, taken: b.Taken}
+						m.count++
+					}
+				case m.fused:
+					m.fp.UpdateWith(snap, b.Taken)
+				default:
+					m.p.Update(&info, b.Taken)
+				}
+			}
+			branches++
+		}
+		if ferr != nil {
+			if ferr != io.EOF {
+				srcErr = ferr
+			}
+			break
+		}
+		if n == 0 {
+			// A batch source returning no progress and no error would
+			// spin; treat it as end of stream defensively.
+			break
+		}
+	}
+	for k := range members {
+		members[k].drain()
+	}
+	if opts.Warmup > 0 {
+		branches -= min(branches, opts.Warmup)
+	}
+	for i := range results {
+		m := &members[i]
+		results[i].Branches = branches
+		results[i].Mispredicts = m.mispredicts
+		results[i].Instructions = instructions
+		if m.inst != nil {
+			cs := m.inst.Stats()
+			results[i].Stats = &cs
+		}
+	}
+	if srcErr != nil {
+		return results, fmt.Errorf("sim: source failed after %d branches: %w", branches, srcErr)
+	}
+	for i := range results {
+		if err := results[i].Validate(); err != nil {
+			return results, err
+		}
+	}
+	return results, nil
+}
+
+// RunEnsembleBenchmark builds the named synthetic benchmark once and runs
+// one predictor per factory over its single stream.
+func RunEnsembleBenchmark(factories []Factory, prof workload.Profile, instrBudget int64, opts Options) ([]Result, error) {
+	g, err := workload.New(prof, instrBudget)
+	if err != nil {
+		return nil, err
+	}
+	rs, err := RunEnsemble(factories, g, opts)
+	for i := range rs {
+		rs[i].Workload = prof.Name
+	}
+	return rs, err
+}

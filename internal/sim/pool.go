@@ -25,6 +25,56 @@ import (
 // per available CPU.
 func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
 
+// EnsembleMode selects how RunCells schedules cells that share a
+// workload: independently (one simulated stream per cell) or grouped
+// into single-pass ensembles (one simulated stream per benchmark, shared
+// by every predictor configuration over it — see RunEnsemble). Results
+// are byte-identical in every mode; only the work schedule changes.
+type EnsembleMode uint8
+
+const (
+	// EnsembleAuto (the zero value) groups cells into per-workload
+	// ensembles when the amortization can win: the fan-out is wider than
+	// the worker count (otherwise per-cell parallelism already uses
+	// every core) and at least one workload is shared by two cells.
+	EnsembleAuto EnsembleMode = iota
+	// EnsembleOn always groups cells that share a workload, even when
+	// the fan-out fits the workers — the deterministic path for tests
+	// and measurements.
+	EnsembleOn
+	// EnsembleOff always simulates every cell independently — the
+	// pre-ensemble schedule, and the right choice when cells ≤ workers.
+	EnsembleOff
+)
+
+// String names the mode as the CLI flags spell it.
+func (m EnsembleMode) String() string {
+	switch m {
+	case EnsembleAuto:
+		return "auto"
+	case EnsembleOn:
+		return "on"
+	case EnsembleOff:
+		return "off"
+	default:
+		return fmt.Sprintf("EnsembleMode(%d)", uint8(m))
+	}
+}
+
+// ParseEnsembleMode parses the CLI spelling of an EnsembleMode.
+func ParseEnsembleMode(s string) (EnsembleMode, error) {
+	switch s {
+	case "auto":
+		return EnsembleAuto, nil
+	case "on":
+		return EnsembleOn, nil
+	case "off":
+		return EnsembleOff, nil
+	default:
+		return EnsembleAuto, fmt.Errorf("sim: unknown ensemble mode %q (want auto|on|off)", s)
+	}
+}
+
 // CellDone describes one completed cell of a suite-level run.
 type CellDone struct {
 	// Index is the cell's position in input order.
@@ -57,6 +107,10 @@ type PoolOptions struct {
 	Workers int
 	// Progress, if non-nil, receives one event per completed cell.
 	Progress ProgressFunc
+	// Ensemble selects per-cell vs grouped single-pass scheduling for
+	// cells that share a workload (see EnsembleMode). The zero value
+	// (EnsembleAuto) groups only when the amortization can win.
+	Ensemble EnsembleMode
 }
 
 // Cell is one independent simulation job: a cold predictor from Factory
@@ -73,7 +127,17 @@ type Cell struct {
 // inside a cell, converted to an error) cancels the context handed to
 // outstanding jobs and wins; queued cells that have not started are
 // skipped. A nil ctx is treated as context.Background().
+//
+// Cells that share a (workload, options) pair may be grouped into one
+// single-pass ensemble task per benchmark (pool.Ensemble; the default
+// EnsembleAuto groups exactly when the fan-out exceeds the workers and a
+// workload is shared), so a K-point sweep advances each benchmark stream
+// once instead of K times. Grouping changes only the schedule: results,
+// their order, and the per-cell Progress events are the same either way.
 func RunCells(ctx context.Context, cells []Cell, instrBudget int64, pool PoolOptions) ([]Result, error) {
+	if groups := ensembleGroups(cells, pool); groups != nil {
+		return runCellGroups(ctx, cells, groups, instrBudget, pool)
+	}
 	var (
 		mu   sync.Mutex
 		done int
@@ -104,6 +168,105 @@ func RunCells(ctx context.Context, cells []Cell, instrBudget int64, pool PoolOpt
 		}
 	}
 	return Parallel(ctx, pool.Workers, jobs)
+}
+
+// cellGroup is one ensemble task of the grouped schedule: the cells
+// (input positions) that share one workload and one option set.
+type cellGroup struct {
+	prof  workload.Profile
+	opts  Options
+	cells []int
+}
+
+// ensembleGroups decides whether to run cells as per-workload ensembles
+// and, if so, returns the groups in first-appearance order. It returns
+// nil — meaning "use the per-cell schedule" — when the mode is
+// EnsembleOff, or when EnsembleAuto finds nothing to amortize: a fan-out
+// no wider than the worker count (per-cell parallelism already fills the
+// machine and finishes no later), or no workload shared by two cells.
+func ensembleGroups(cells []Cell, pool PoolOptions) []cellGroup {
+	if pool.Ensemble == EnsembleOff || len(cells) == 0 {
+		return nil
+	}
+	if pool.Ensemble == EnsembleAuto {
+		workers := pool.Workers
+		if workers <= 0 {
+			workers = DefaultWorkers()
+		}
+		if len(cells) <= workers {
+			return nil
+		}
+	}
+	type key struct {
+		prof workload.Profile
+		opts Options
+	}
+	index := make(map[key]int)
+	var groups []cellGroup
+	shared := false
+	for i, c := range cells {
+		k := key{c.Profile, c.Opts}
+		gi, ok := index[k]
+		if !ok {
+			gi = len(groups)
+			index[k] = gi
+			groups = append(groups, cellGroup{prof: c.Profile, opts: c.Opts})
+		}
+		groups[gi].cells = append(groups[gi].cells, i)
+		shared = shared || len(groups[gi].cells) > 1
+	}
+	if pool.Ensemble == EnsembleAuto && !shared {
+		return nil
+	}
+	return groups
+}
+
+// runCellGroups executes the grouped schedule: one RunEnsembleBenchmark
+// job per group, fanned out through the same bounded pool, with results
+// scattered back to input cell order and one Progress event per cell.
+func runCellGroups(ctx context.Context, cells []Cell, groups []cellGroup, instrBudget int64, pool PoolOptions) ([]Result, error) {
+	var (
+		mu   sync.Mutex
+		done int
+	)
+	jobs := make([]func(context.Context) ([]Result, error), len(groups))
+	for gi, g := range groups {
+		jobs[gi] = func(context.Context) ([]Result, error) {
+			factories := make([]Factory, len(g.cells))
+			for k, ci := range g.cells {
+				factories[k] = cells[ci].Factory
+			}
+			rs, err := RunEnsembleBenchmark(factories, g.prof, instrBudget, g.opts)
+			if err != nil {
+				return nil, fmt.Errorf("sim: ensemble over %s: %w", g.prof.Name, err)
+			}
+			if pool.Progress != nil {
+				mu.Lock()
+				for k, r := range rs {
+					done++
+					pool.Progress(CellDone{
+						Index: g.cells[k], Done: done, Total: len(cells),
+						Predictor: r.Predictor, Workload: r.Workload,
+						Branches: r.Branches, Mispredicts: r.Mispredicts,
+						Instructions: r.Instructions,
+					})
+				}
+				mu.Unlock()
+			}
+			return rs, nil
+		}
+	}
+	grouped, err := Parallel(ctx, pool.Workers, jobs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Result, len(cells))
+	for gi, g := range groups {
+		for k, ci := range g.cells {
+			out[ci] = grouped[gi][k]
+		}
+	}
+	return out, nil
 }
 
 // SuiteCells builds one cell per profile, all sharing factory and opts —

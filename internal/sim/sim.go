@@ -51,6 +51,14 @@ type Options struct {
 	// debugging path. It has no effect on a single Run — parallelism is
 	// across cells, never within one simulated instruction stream.
 	Workers int
+	// Ensemble selects how suite-level drivers schedule cells that share
+	// a workload: EnsembleAuto (the zero value) groups them into one
+	// single-pass ensemble per benchmark when that amortization is worth
+	// it, EnsembleOn forces grouping, EnsembleOff forces the per-cell
+	// path. Results are byte-identical in every mode (see
+	// docs/PERFORMANCE.md, "Ensemble execution"); like Workers, it has no
+	// effect on a single Run.
+	Ensemble EnsembleMode
 	// Collect enables component attribution: when set and the predictor
 	// implements stats.Instrumented, Run turns its counters on before
 	// the stream and snapshots them into Result.Stats after. Collection
@@ -136,6 +144,68 @@ type BlockObserver interface {
 	ObserveBlock(frontend.Block)
 }
 
+// maxDenseThread bounds the dense thread-id → tracker table. Real thread
+// ids come from the SMT interleaver and are tiny (the EV8 has four
+// hardware threads); the bound only matters for file-backed traces,
+// whose thread field can hold anything up to the format's limit — a
+// sparse map absorbs those without a giant allocation.
+const maxDenseThread = 4096
+
+// trackerTable maps thread ids to per-thread front-end trackers. The hot
+// path is a dense slice lookup (thread ids are small ints from the SMT
+// interleaver — satellite of the ensemble PR replacing the old per-branch
+// map lookup); ids beyond maxDenseThread spill to a lazily built map so a
+// hostile trace cannot force an enormous dense table.
+type trackerTable struct {
+	dense  []*frontend.Tracker
+	sparse map[int]*frontend.Tracker
+}
+
+// lookup returns the tracker for id, or nil if none exists yet. The
+// dense fast path is small enough to inline into the simulation loops.
+func (t *trackerTable) lookup(id int) *frontend.Tracker {
+	if uint(id) < uint(len(t.dense)) {
+		return t.dense[id]
+	}
+	return t.lookupSparse(id)
+}
+
+// lookupSparse is the out-of-line slow path of lookup.
+func (t *trackerTable) lookupSparse(id int) *frontend.Tracker {
+	if t.sparse == nil {
+		return nil
+	}
+	return t.sparse[id]
+}
+
+// create builds, registers and returns the tracker for a first-seen
+// thread id. A negative id cannot come from a valid trace (the trace
+// writer rejects it) and is reported as an error instead of growing a
+// table backwards.
+func (t *trackerTable) create(id int, opts Options, onBlock func(frontend.Block)) (*frontend.Tracker, error) {
+	if id < 0 {
+		return nil, fmt.Errorf("sim: negative thread id %d in branch record", id)
+	}
+	tr := frontend.NewTracker(opts.Mode)
+	tr.SetThread(id)
+	tr.SetLenient(opts.LenientFlow)
+	if onBlock != nil {
+		tr.OnBlock(onBlock)
+	}
+	if id < maxDenseThread {
+		for len(t.dense) <= id {
+			t.dense = append(t.dense, nil)
+		}
+		t.dense[id] = tr
+	} else {
+		if t.sparse == nil {
+			t.sparse = map[int]*frontend.Tracker{}
+		}
+		t.sparse[id] = tr
+	}
+	return tr, nil
+}
+
 // Run simulates p over src. Per-thread front-end trackers are created on
 // demand, so SMT-interleaved sources work transparently (each thread gets
 // its own history registers and path queue, as on the real machine).
@@ -152,7 +222,11 @@ type BlockObserver interface {
 // branches processed before the failure.
 func Run(p predictor.Predictor, src trace.Source, opts Options) (Result, error) {
 	res := Result{Predictor: p.Name(), SizeBits: p.SizeBits()}
-	trackers := map[int]*frontend.Tracker{}
+	var trackers trackerTable
+	var onBlock func(frontend.Block)
+	if obs, ok := p.(BlockObserver); ok {
+		onBlock = obs.ObserveBlock
+	}
 	fp, fused := p.(predictor.FusedPredictor)
 
 	// Attribution is enabled once, before the stream; the hot loop below
@@ -197,15 +271,13 @@ func Run(p predictor.Predictor, src trace.Source, opts Options) (Result, error) 
 		if !ok {
 			break
 		}
-		tr := trackers[b.Thread]
+		tr := trackers.lookup(b.Thread)
 		if tr == nil {
-			tr = frontend.NewTracker(opts.Mode)
-			tr.SetThread(b.Thread)
-			tr.SetLenient(opts.LenientFlow)
-			if obs, ok := p.(BlockObserver); ok {
-				tr.OnBlock(obs.ObserveBlock)
+			var err error
+			tr, err = trackers.create(b.Thread, opts, onBlock)
+			if err != nil {
+				return res, err
 			}
-			trackers[b.Thread] = tr
 		}
 		info, isCond = tr.Process(b)
 		// One gate decides the whole record: it is measured iff the
@@ -306,7 +378,7 @@ type Factory func() (predictor.Predictor, error)
 // results come back in profile order, identical to a serial run.
 func RunSuite(factory Factory, profs []workload.Profile, instrBudget int64, opts Options) ([]Result, error) {
 	return RunCells(context.Background(), SuiteCells(factory, profs, opts), instrBudget,
-		PoolOptions{Workers: opts.Workers})
+		PoolOptions{Workers: opts.Workers, Ensemble: opts.Ensemble})
 }
 
 // Mean returns the arithmetic mean misp/KI across results (the summary

@@ -34,7 +34,12 @@ type Point struct {
 // All (parameter value × benchmark) cells fan out through one bounded
 // pool run (opts.Workers; 1 = serial), and the points come back in xs
 // order with per-benchmark results in profile order, identical to a
-// serial sweep.
+// serial sweep. Because every swept value visits the same benchmarks
+// under the same options, the pool's ensemble scheduler (opts.Ensemble,
+// default auto) can collapse the K×B cell fan-out into one single-pass
+// ensemble task per benchmark — each stream is generated and front-end
+// processed once and shared by all K family members — with byte-identical
+// points.
 func Run(factory Factory, xs []int, profs []workload.Profile, instrBudget int64, opts sim.Options) ([]Point, error) {
 	if len(xs) == 0 {
 		return nil, fmt.Errorf("sweep: no parameter values")
@@ -52,7 +57,8 @@ func Run(factory Factory, xs []int, profs []workload.Profile, instrBudget int64,
 			cells = append(cells, sim.Cell{Factory: mk, Profile: prof, Opts: opts})
 		}
 	}
-	rs, err := sim.RunCells(context.Background(), cells, instrBudget, sim.PoolOptions{Workers: opts.Workers})
+	rs, err := sim.RunCells(context.Background(), cells, instrBudget,
+		sim.PoolOptions{Workers: opts.Workers, Ensemble: opts.Ensemble})
 	if err != nil {
 		return nil, fmt.Errorf("sweep: %w", err)
 	}

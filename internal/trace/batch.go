@@ -1,0 +1,67 @@
+package trace
+
+import "io"
+
+// BatchSource is the optional bulk contract of a Source: NextBatch
+// delivers up to len(dst) records per call, amortizing the per-record
+// interface dispatch of Next over a caller-owned, reusable buffer. The
+// ensemble simulator (sim.RunEnsemble) detects it and pulls the stream in
+// batches; sources that do not implement it are read one record at a
+// time through Next with identical results.
+//
+// Contract:
+//
+//   - NextBatch fills dst from the front and returns the number of
+//     records written (0 <= n <= len(dst)).
+//   - err == nil means the stream may have more records; n may be short
+//     of len(dst) even mid-stream, and n == 0 with a nil error is not
+//     end of stream (callers must loop on err, not on n).
+//   - err == io.EOF means the stream ended cleanly; any n records
+//     returned alongside it are valid and final.
+//   - any other error means the stream failed (e.g. trace corruption);
+//     the n records preceding the failure are valid, the error is the
+//     same one Err would report, and every subsequent call returns it
+//     again with n == 0.
+//
+// Interleaving Next and NextBatch calls on one source is allowed: both
+// advance the same cursor.
+type BatchSource interface {
+	Source
+	NextBatch(dst []Branch) (int, error)
+}
+
+// NextBatch implements BatchSource by block-copying from the in-memory
+// record slice.
+func (s *Slice) NextBatch(dst []Branch) (int, error) {
+	if s.pos >= len(s.Records) {
+		return 0, io.EOF
+	}
+	n := copy(dst, s.Records[s.pos:])
+	s.pos += n
+	return n, nil
+}
+
+// NextBatch implements BatchSource over the file decoder. Decode errors
+// are sticky and shared with Next/Err: a batch read that hits corruption
+// returns the intact prefix together with the error, and Err reports the
+// same failure afterwards.
+func (r *Reader) NextBatch(dst []Branch) (int, error) {
+	if r.err != nil {
+		return 0, r.err
+	}
+	for i := range dst {
+		b, err := r.Read()
+		if err != nil {
+			if err == io.EOF {
+				if i == 0 {
+					return 0, io.EOF
+				}
+				return i, nil
+			}
+			r.err = err
+			return i, err
+		}
+		dst[i] = b
+	}
+	return len(dst), nil
+}

@@ -1,0 +1,130 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// drainBatched pulls a source dry through NextBatch with the given
+// buffer size, returning the records and the terminal error.
+func drainBatched(bs BatchSource, bufLen int) ([]Branch, error) {
+	buf := make([]Branch, bufLen)
+	var out []Branch
+	for {
+		n, err := bs.NextBatch(buf)
+		out = append(out, buf[:n]...)
+		if err != nil {
+			return out, err
+		}
+	}
+}
+
+func TestSliceNextBatch(t *testing.T) {
+	recs := sampleBranches(100, 11)
+	got, err := drainBatched(NewSlice(recs), 7) // 100 % 7 != 0: final batch is short
+	if err != io.EOF {
+		t.Fatalf("terminal err = %v, want io.EOF", err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("batched read %d records, want %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if got[i] != recs[i] {
+			t.Fatalf("record %d: got %+v want %+v", i, got[i], recs[i])
+		}
+	}
+	// Exhausted source keeps returning clean EOF.
+	s := NewSlice(recs[:1])
+	if _, err := drainBatched(s, 4); err != io.EOF {
+		t.Fatal(err)
+	}
+	if n, err := s.NextBatch(make([]Branch, 4)); n != 0 || err != io.EOF {
+		t.Errorf("post-EOF NextBatch = (%d, %v), want (0, io.EOF)", n, err)
+	}
+}
+
+func TestSliceNextBatchInterleavesWithNext(t *testing.T) {
+	recs := sampleBranches(10, 12)
+	s := NewSlice(recs)
+	if b, ok := s.Next(); !ok || b != recs[0] {
+		t.Fatal("Next did not yield record 0")
+	}
+	buf := make([]Branch, 4)
+	n, err := s.NextBatch(buf)
+	if err != nil || n != 4 || buf[0] != recs[1] {
+		t.Fatalf("NextBatch after Next = (%d, %v), buf[0] = %+v", n, err, buf[0])
+	}
+	if b, ok := s.Next(); !ok || b != recs[5] {
+		t.Fatal("Next after NextBatch lost the shared cursor")
+	}
+}
+
+func TestReaderNextBatch(t *testing.T) {
+	recs := sampleBranches(500, 13)
+	var buf bytes.Buffer
+	if _, err := WriteAll(&buf, NewSlice(recs)); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := drainBatched(r, 64)
+	if err != io.EOF {
+		t.Fatalf("terminal err = %v, want io.EOF", err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("batched read %d records, want %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if got[i] != recs[i] {
+			t.Fatalf("record %d: got %+v want %+v", i, got[i], recs[i])
+		}
+	}
+	if r.Err() != nil {
+		t.Fatalf("Err after clean EOF = %v", r.Err())
+	}
+}
+
+// TestReaderNextBatchCorruption: a batch read that hits corruption must
+// return the intact prefix with the error, report the same error from
+// Err, and stay sticky on every later call — so sim's batched loop
+// surfaces exactly what the per-record loop would. The trace spans
+// several v2 chunks and the flipped bit lands mid-stream, so the chunks
+// before it decode and the rest are refused.
+func TestReaderNextBatchCorruption(t *testing.T) {
+	recs := sampleBranches(12_000, 14)
+	var buf bytes.Buffer
+	if _, err := WriteAll(&buf, NewSlice(recs)); err != nil {
+		t.Fatal(err)
+	}
+	mutant := append([]byte(nil), buf.Bytes()...)
+	mutant[len(mutant)/2] ^= 0x40
+	r, err := NewReader(bytes.NewReader(mutant))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := drainBatched(r, 64)
+	if !errors.Is(err, ErrBadFormat) {
+		t.Fatalf("terminal err = %v, want ErrBadFormat", err)
+	}
+	if len(got) == 0 || len(got) >= len(recs) {
+		t.Fatalf("prefix of %d records before the failure, want 0 < n < %d", len(got), len(recs))
+	}
+	for i := range got {
+		if got[i] != recs[i] {
+			t.Fatalf("prefix record %d: got %+v want %+v", i, got[i], recs[i])
+		}
+	}
+	if !errors.Is(r.Err(), ErrBadFormat) {
+		t.Errorf("Err = %v, want the batch error", r.Err())
+	}
+	if n, err2 := r.NextBatch(make([]Branch, 8)); n != 0 || !errors.Is(err2, ErrBadFormat) {
+		t.Errorf("post-error NextBatch = (%d, %v), want (0, sticky error)", n, err2)
+	}
+	if _, ok := r.Next(); ok {
+		t.Error("Next after batch error returned a record")
+	}
+}

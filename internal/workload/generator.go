@@ -2,6 +2,7 @@ package workload
 
 import (
 	"fmt"
+	"io"
 
 	"ev8pred/internal/history"
 	"ev8pred/internal/rng"
@@ -114,6 +115,29 @@ func (g *Generator) Next() (trace.Branch, bool) {
 		g.done = true
 	}
 	return b, true
+}
+
+// NextBatch implements trace.BatchSource: it interprets records directly
+// into the caller's buffer, so batch consumers (sim.RunEnsemble) pay one
+// call per batch instead of one interface dispatch per record. A
+// synthetic stream cannot fail, so the only terminal condition is the
+// budget running out (io.EOF).
+func (g *Generator) NextBatch(dst []trace.Branch) (int, error) {
+	if g.done {
+		return 0, io.EOF
+	}
+	for i := range dst {
+		if g.done {
+			return i, nil
+		}
+		b := g.step()
+		g.instr += int64(b.Gap) + 1
+		if g.budget > 0 && g.instr >= g.budget {
+			g.done = true
+		}
+		dst[i] = b
+	}
+	return len(dst), nil
 }
 
 // emit finalizes a record at pc: the gap is the real address distance from
