@@ -4,7 +4,7 @@
 GO ?= go
 STATICCHECK_VERSION ?= 2025.1.1
 
-.PHONY: all build vet staticcheck test race bench bench-baseline bench-ensemble check report fuzz faultinject examples clean
+.PHONY: all build vet staticcheck test race bench bench-baseline bench-ensemble check report fuzz faultinject resume examples clean
 
 all: build vet test
 
@@ -12,9 +12,12 @@ all: build vet test
 # race detector, the hot-path zero-allocation gates (without -race, where
 # allocation accounting is exact), the trace fault-injection suite, a
 # short decoder fuzz smoke, the ensemble differential suite (single-pass
-# ensemble results must be byte-identical to per-cell runs), and
-# benchmark smokes so neither the testing.B harness nor the
-# per-predictor microbenchmarks can rot.
+# ensemble results must be byte-identical to per-cell runs), the
+# resume-equivalence and cache-correctness suites (checkpointed-and-
+# resumed runs and cache hits must be byte-identical to straight
+# recomputation), a snapshot-decode fuzz smoke, and benchmark smokes so
+# neither the testing.B harness nor the per-predictor microbenchmarks
+# can rot.
 check:
 	$(GO) vet ./...
 	$(MAKE) staticcheck
@@ -24,6 +27,10 @@ check:
 	$(GO) test -run 'TestEnsemble' -count=1 . ./internal/sim/
 	$(GO) test -run 'TestFault' -count=1 ./internal/trace/faultinject/
 	$(GO) test -fuzz FuzzReader -fuzztime 30s -run '^$$' ./internal/trace/
+	$(GO) test -run 'TestResume|TestWarmEnsemble' -count=1 .
+	$(GO) test -run 'TestCache|TestSweepWarmCacheZeroWork|TestUncacheable|TestSnapshotMutants|TestCheckpointMutants' -count=1 .
+	$(GO) test -count=1 ./internal/cache/ ./internal/snapshot/
+	$(GO) test -fuzz FuzzSnapshotDecode -fuzztime 30s -run '^$$' .
 	$(GO) test -bench=Table1 -benchtime=1x -run '^$$' .
 	$(GO) test -bench=PredictUpdate -benchtime=100x -run '^$$' .
 
@@ -77,12 +84,22 @@ bench-ensemble:
 report:
 	$(GO) run ./cmd/ev8bench -experiment all -o bench_report.txt
 
-# Short fuzz sessions over the trace codec and the fault-injection
-# mutant space.
+# Short fuzz sessions over the trace codec, the fault-injection mutant
+# space, and the snapshot/checkpoint wire format.
 fuzz:
 	$(GO) test -fuzz FuzzReader -fuzztime 30s ./internal/trace/
 	$(GO) test -fuzz FuzzRoundTrip -fuzztime 30s ./internal/trace/
 	$(GO) test -fuzz FuzzMutatedTrace -fuzztime 30s ./internal/trace/faultinject/
+	$(GO) test -fuzz FuzzSnapshotDecode -fuzztime 30s -run '^$$' .
+
+# Resume-equivalence and cache-correctness differentials: every
+# Snapshotter family checkpointed, serialized, resumed and compared
+# bit-for-bit against straight-through runs, plus the result-cache
+# hit/near-miss/corruption/zero-work suites.
+resume:
+	$(GO) test -run 'TestResume|TestWarmEnsemble|TestSnapshotMutants|TestCheckpointMutants' -count=1 -v .
+	$(GO) test -run 'TestCache|TestSweepWarmCacheZeroWork|TestUncacheable' -count=1 -v .
+	$(GO) test -count=1 ./internal/cache/ ./internal/snapshot/
 
 # Exhaustive trace-corruption suite: every prefix truncation and every
 # single-bit flip of a format-2 stream must surface a typed error.

@@ -5,7 +5,7 @@
 //
 //	ev8bench [-experiment all|none|table1|table2|fig5|...|ablations|perf|smt|backup]
 //	         [-instructions N] [-benchmarks gcc,go,...] [-o report.txt]
-//	         [-j workers] [-ensemble auto|on|off] [-v]
+//	         [-j workers] [-ensemble auto|on|off] [-cache DIR] [-v]
 //	         [-stats] [-json stats.json] [-csv stats.csv]
 //	         [-expvar localhost:8080]
 //	         [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
@@ -21,6 +21,12 @@
 // amortization can win, "on" forces it, "off" forces per-cell runs; the
 // report is byte-identical in every mode, see docs/PERFORMANCE.md). -v
 // prints a cells/throughput progress counter to stderr.
+//
+// -cache DIR attaches the content-addressed result cache (docs/CACHING.md):
+// cells whose exact inputs were simulated before are answered from DIR
+// instead of re-simulated, and fresh results are stored for next time. A
+// corrupt entry is refused, recomputed and replaced (-v reports it). The
+// report is byte-identical with caching on, off, cold or warm.
 //
 // -stats runs the component-attribution suite: the default EV8 predictor
 // over every selected benchmark with collection enabled, emitted as JSON
@@ -42,6 +48,7 @@ import (
 	"sync"
 	"time"
 
+	"ev8pred/internal/cache"
 	"ev8pred/internal/ev8"
 	"ev8pred/internal/experiments"
 	"ev8pred/internal/frontend"
@@ -115,6 +122,7 @@ func run(args []string, out, errw io.Writer) error {
 		statsSuite   = fs.Bool("stats", false, "run the EV8 component-attribution suite and emit it as JSON")
 		jsonPath     = fs.String("json", "", "write the -stats JSON to this file instead of the report stream")
 		csvPath      = fs.String("csv", "", "also write the -stats records as CSV to this file")
+		cacheDir     = fs.String("cache", "", "content-addressed result cache directory (e.g. "+cache.DefaultDir+"; empty = no caching)")
 		expvarAddr   = fs.String("expvar", "", "serve live expvar progress counters on this address (e.g. localhost:8080)")
 		cpuProfile   = fs.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
 		memProfile   = fs.String("memprofile", "", "write an allocation profile to this file at exit")
@@ -174,6 +182,22 @@ func run(args []string, out, errw io.Writer) error {
 	if *verbose {
 		counter = newProgressCounter(errw)
 		cfg.Progress = counter.observe
+		cfg.Log = func(format string, args ...interface{}) {
+			fmt.Fprintf(errw, "ev8bench: "+format+"\n", args...)
+		}
+	}
+	if *cacheDir != "" {
+		store, err := cache.Open(*cacheDir)
+		if err != nil {
+			return err
+		}
+		cfg.Cache = store
+		defer func() {
+			if *verbose {
+				hits, misses, puts := store.Counts()
+				fmt.Fprintf(errw, "cache: %d hits, %d misses, %d stored (%s)\n", hits, misses, puts, store.Dir())
+			}
+		}()
 	}
 	if *expvarAddr != "" {
 		lv := live.New("ev8bench")
@@ -303,7 +327,10 @@ func runStatsSuite(cfg experiments.Config) ([]report.Run, error) {
 	opts := sim.Options{Mode: frontend.ModeEV8(), Collect: true}
 	results, err := sim.RunCells(context.Background(),
 		sim.SuiteCells(factory, cfg.Benchmarks, opts), cfg.Instructions,
-		sim.PoolOptions{Workers: cfg.Workers, Progress: cfg.Progress, Ensemble: cfg.Ensemble})
+		sim.PoolOptions{
+			Workers: cfg.Workers, Progress: cfg.Progress, Ensemble: cfg.Ensemble,
+			Cache: cfg.Cache, Log: cfg.Log,
+		})
 	if err != nil {
 		return nil, fmt.Errorf("stats suite: %w", err)
 	}

@@ -12,6 +12,13 @@
 // results — including any attribution counters — as machine-readable
 // JSON to the given file ("-" for stdout, replacing the table).
 //
+// -save-checkpoint FILE stops a single-predictor, single-workload run
+// after -checkpoint-branches conditional branches and serializes the full
+// simulation state (predictor tables, front-end history, pending
+// commit-delay updates); -resume FILE continues such a run bit-identically
+// to one that never stopped, provided the same predictor and -mode
+// (mismatches are refused with a typed error). See docs/CACHING.md.
+//
 // Examples:
 //
 //	ev8sim -predictors ev8 -benchmarks gcc
@@ -106,6 +113,9 @@ func run(args []string, out io.Writer) error {
 		threads      = fs.Int("threads", 1, "SMT: interleave N copies of each benchmark")
 		quantum      = fs.Int64("quantum", 1000, "SMT: instructions per thread switch")
 		collect      = fs.Bool("stats", false, "collect component-attribution counters (predictors that support them)")
+		saveCk       = fs.String("save-checkpoint", "", "stop after -checkpoint-branches conditional branches and write a resumable checkpoint to this file (single predictor, single workload)")
+		ckBranches   = fs.Int64("checkpoint-branches", 0, "conditional-branch cut point for -save-checkpoint")
+		resumePath   = fs.String("resume", "", "resume from a checkpoint written by -save-checkpoint and run the source dry (same -mode and predictor required)")
 		jsonPath     = fs.String("json", "", "emit results as JSON to this file ('-' = stdout, replacing the table)")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -132,6 +142,16 @@ func run(args []string, out io.Writer) error {
 	tbl := report.New("ev8sim results",
 		"workload", "predictor", "size Kbits", "misp/KI", "accuracy%", "branches")
 	var results []sim.Result
+
+	if *saveCk != "" || *resumePath != "" {
+		r, err := runCheckpointed(names, *benchmarks, *traceFile, *instructions,
+			*threads, opts, *saveCk, *ckBranches, *resumePath)
+		if err != nil {
+			return err
+		}
+		addRow(tbl, r)
+		return emit(tbl, []sim.Result{r}, *jsonPath, out)
+	}
 
 	if *traceFile != "" {
 		// Decode once (gzip-transparent), replay per predictor.
@@ -211,6 +231,102 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 	return emit(tbl, results, *jsonPath, out)
+}
+
+// runCheckpointed handles the -save-checkpoint / -resume modes: one
+// predictor over one workload, either stopped at a branch cut with its
+// full simulation state (predictor tables, front-end history, pending
+// commit-delay updates) serialized to disk, or continued from such a file
+// — bit-identically, as if the run had never stopped (see the repo-level
+// resume-equivalence suite).
+func runCheckpointed(names []string, benchmarks, traceFile string, instructions int64,
+	threads int, opts sim.Options, saveCk string, ckBranches int64, resumePath string) (sim.Result, error) {
+	switch {
+	case saveCk != "" && resumePath != "":
+		return sim.Result{}, fmt.Errorf("-save-checkpoint and -resume are mutually exclusive")
+	case len(names) != 1:
+		return sim.Result{}, fmt.Errorf("checkpointing runs exactly one predictor (got %d)", len(names))
+	case threads != 1:
+		return sim.Result{}, fmt.Errorf("checkpointing does not support SMT interleaving")
+	}
+
+	var (
+		src   trace.Source
+		wname string
+	)
+	if traceFile != "" {
+		rd, closer, err := trace.Open(traceFile)
+		if err != nil {
+			return sim.Result{}, err
+		}
+		records := trace.Collect(rd, 0)
+		if err := rd.Err(); err != nil {
+			return sim.Result{}, fmt.Errorf("%s: %w", traceFile, err)
+		}
+		if err := closer.Close(); err != nil {
+			return sim.Result{}, err
+		}
+		src, wname = trace.NewSlice(records), traceFile
+	} else {
+		if strings.Contains(benchmarks, ",") || benchmarks == "all" {
+			return sim.Result{}, fmt.Errorf("checkpointing runs exactly one benchmark (got %q)", benchmarks)
+		}
+		prof, err := workload.ByName(benchmarks)
+		if err != nil {
+			return sim.Result{}, err
+		}
+		g, err := workload.New(prof, instructions)
+		if err != nil {
+			return sim.Result{}, err
+		}
+		src, wname = g, prof.Name
+	}
+
+	p, err := predictorFactories[names[0]]()
+	if err != nil {
+		return sim.Result{}, err
+	}
+
+	if resumePath != "" {
+		data, err := os.ReadFile(resumePath)
+		if err != nil {
+			return sim.Result{}, err
+		}
+		var ck sim.Checkpoint
+		if err := ck.UnmarshalBinary(data); err != nil {
+			return sim.Result{}, fmt.Errorf("%s: %w", resumePath, err)
+		}
+		if err := sim.SkipRecords(src, ck.Records); err != nil {
+			return sim.Result{}, err
+		}
+		r, err := sim.ResumeFrom(p, src, opts, &ck)
+		if err != nil {
+			return sim.Result{}, err
+		}
+		r.Workload = wname
+		return r, nil
+	}
+
+	if ckBranches <= 0 {
+		return sim.Result{}, fmt.Errorf("-save-checkpoint needs -checkpoint-branches > 0")
+	}
+	cutOpts := opts
+	cutOpts.MaxBranches = ckBranches
+	r, ck, err := sim.RunCheckpoint(p, src, cutOpts)
+	if err != nil {
+		return sim.Result{}, err
+	}
+	blob, err := ck.MarshalBinary()
+	if err != nil {
+		return sim.Result{}, err
+	}
+	if err := os.WriteFile(saveCk, blob, 0o644); err != nil {
+		return sim.Result{}, err
+	}
+	fmt.Fprintf(os.Stderr, "ev8sim: checkpoint at %d branches (%d source records) -> %s (%d bytes)\n",
+		ck.RawBranches, ck.Records, saveCk, len(blob))
+	r.Workload = wname
+	return r, nil
 }
 
 // emit prints the table and, when -json was given, the machine-readable

@@ -23,6 +23,13 @@
 // that support them; see docs/OBSERVABILITY.md); -json emits every cell
 // as a machine-readable record to the given file ("-" for stdout,
 // replacing the table).
+//
+// -cache DIR attaches the content-addressed result cache (docs/CACHING.md):
+// a repeated sweep whose cells are all cached re-runs with zero simulation
+// work, and narrowing or widening -values re-simulates only the new
+// points. -v prints the hit/miss summary and any refused (corrupt)
+// entries to stderr. The table is byte-identical with caching on, off,
+// cold or warm.
 package main
 
 import (
@@ -33,6 +40,7 @@ import (
 	"strconv"
 	"strings"
 
+	"ev8pred/internal/cache"
 	"ev8pred/internal/core"
 	"ev8pred/internal/frontend"
 	"ev8pred/internal/predictor"
@@ -64,6 +72,8 @@ func run(args []string, out io.Writer) error {
 		workers      = fs.Int("j", 0, "parallel simulation cells (0 = one per CPU, 1 = serial)")
 		ensemble     = fs.String("ensemble", "auto", "single-pass ensemble scheduling: auto|on|off (results identical in every mode)")
 		collect      = fs.Bool("stats", false, "collect component-attribution counters (predictors that support them)")
+		cacheDir     = fs.String("cache", "", "content-addressed result cache directory (e.g. "+cache.DefaultDir+"; empty = no caching)")
+		verbose      = fs.Bool("v", false, "print harness diagnostics (cache hit/miss summary, refused entries) to stderr")
 		jsonPath     = fs.String("json", "", "emit per-cell results as JSON to this file ('-' = stdout, replacing the table)")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -111,8 +121,28 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	pts, err := sweep.Run(factory, xs, profsList, *instructions,
-		sim.Options{Mode: mode, Workers: *workers, Collect: *collect, Ensemble: ensembleMode})
+	pool := sim.PoolOptions{Workers: *workers, Ensemble: ensembleMode}
+	if *verbose {
+		pool.Log = func(format string, args ...interface{}) {
+			fmt.Fprintf(os.Stderr, "ev8sweep: "+format+"\n", args...)
+		}
+	}
+	if *cacheDir != "" {
+		store, err := cache.Open(*cacheDir)
+		if err != nil {
+			return err
+		}
+		pool.Cache = store
+		defer func() {
+			if *verbose {
+				hits, misses, puts := store.Counts()
+				fmt.Fprintf(os.Stderr, "ev8sweep: cache: %d hits, %d misses, %d stored (%s)\n",
+					hits, misses, puts, store.Dir())
+			}
+		}()
+	}
+	pts, err := sweep.RunPool(factory, xs, profsList, *instructions,
+		sim.Options{Mode: mode, Workers: *workers, Collect: *collect, Ensemble: ensembleMode}, pool)
 	if err != nil {
 		return err
 	}

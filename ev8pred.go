@@ -177,3 +177,44 @@ func RunEnsemble(factories []Factory, src Source, opts Options) ([]Result, error
 func RunEnsembleBenchmark(factories []Factory, prof Profile, instructions int64, opts Options) ([]Result, error) {
 	return sim.RunEnsembleBenchmark(factories, prof, instructions, opts)
 }
+
+// Checkpoint / resume (docs/CACHING.md). Predictors that implement
+// Snapshotter (the EV8 model, 2Bc-gskew, e-gskew and gshare do) can stop
+// a run at a branch count, serialize the full simulation state, and
+// continue later bit-identically.
+type (
+	// Snapshotter is implemented by predictors whose internal state can
+	// be serialized and restored exactly.
+	Snapshotter = predictor.Snapshotter
+	// ConfigKeyer is implemented by predictors that can describe their
+	// configuration as a canonical string for result caching.
+	ConfigKeyer = predictor.ConfigKeyer
+	// Checkpoint is the serializable mid-run state of a simulation.
+	Checkpoint = sim.Checkpoint
+)
+
+// RunCheckpoint simulates like Run but additionally captures a resumable
+// Checkpoint of the final state; bound the stopping point with
+// Options.MaxBranches. The predictor must implement Snapshotter.
+func RunCheckpoint(p Predictor, src Source, opts Options) (Result, *Checkpoint, error) {
+	return sim.RunCheckpoint(p, src, opts)
+}
+
+// ResumeFrom restores ck into p and continues the run over src, which
+// must already be positioned past the checkpointed records (SkipRecords).
+// The combined run is bit-identical to one uninterrupted Run.
+func ResumeFrom(p Predictor, src Source, opts Options, ck *Checkpoint) (Result, error) {
+	return sim.ResumeFrom(p, src, opts, ck)
+}
+
+// SkipRecords advances src past n records, surfacing a typed error if
+// the stream ends or fails first.
+func SkipRecords(src Source, n int64) error { return sim.SkipRecords(src, n) }
+
+// RunWarmEnsembleBenchmark simulates the first warmBranches of a
+// benchmark once with a factory-built predictor, snapshots the warm
+// state, and fans k ensemble members out from copies of it — the
+// ensemble engine's amortization applied to warmup state.
+func RunWarmEnsembleBenchmark(factory Factory, k int, prof Profile, instructions, warmBranches int64, opts Options) ([]Result, error) {
+	return sim.RunWarmEnsembleBenchmark(factory, k, prof, instructions, warmBranches, opts)
+}

@@ -1,0 +1,215 @@
+package cache
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ev8pred/internal/stats"
+	"ev8pred/internal/trace/faultinject"
+)
+
+func testKey(n string) Key {
+	return Key{Workload: "profile=" + n + "|instr=1000", Config: "gshare|entries=1024|hist=10", Options: "mode=false/false/0"}
+}
+
+func testEntry(k Key) *Entry {
+	cs := stats.Counters{{Name: "updates", Value: 41}, {Name: "mispredicts", Value: 7}}
+	return &Entry{
+		Key: k, Predictor: "gshare-1K", Workload: "gcc",
+		Branches: 1000, Mispredicts: 120, Instructions: 6400, SizeBits: 2048,
+		Stats: &cs,
+	}
+}
+
+// TestRoundTrip pins Put → Get identity, including the attribution
+// counters, and the hit/miss/put counters.
+func TestRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := testKey("gcc")
+	if _, hit, err := s.Get(k); hit || err != nil {
+		t.Fatalf("empty store: hit=%v err=%v", hit, err)
+	}
+	want := testEntry(k)
+	if err := s.Put(want); err != nil {
+		t.Fatal(err)
+	}
+	got, hit, err := s.Get(k)
+	if err != nil || !hit {
+		t.Fatalf("after put: hit=%v err=%v", hit, err)
+	}
+	if got.Key != want.Key || got.Predictor != want.Predictor || got.Workload != want.Workload ||
+		got.Branches != want.Branches || got.Mispredicts != want.Mispredicts ||
+		got.Instructions != want.Instructions || got.SizeBits != want.SizeBits {
+		t.Errorf("entry changed across the store:\n got %+v\nwant %+v", got, want)
+	}
+	if got.Stats == nil || len(*got.Stats) != 2 || (*got.Stats)[0] != (*want.Stats)[0] || (*got.Stats)[1] != (*want.Stats)[1] {
+		t.Errorf("stats changed across the store: %+v", got.Stats)
+	}
+	if hits, misses, puts := s.Counts(); hits != 1 || misses != 1 || puts != 1 {
+		t.Errorf("counts = %d/%d/%d, want 1/1/1", hits, misses, puts)
+	}
+
+	// A nil-Stats entry must come back nil, not empty.
+	k2 := testKey("go")
+	e2 := testEntry(k2)
+	e2.Stats = nil
+	if err := s.Put(e2); err != nil {
+		t.Fatal(err)
+	}
+	if got, _, err := s.Get(k2); err != nil || got.Stats != nil {
+		t.Errorf("nil stats round trip: stats=%v err=%v", got.Stats, err)
+	}
+}
+
+// TestKeyAlgebra pins the content addressing: every part feeds the hash,
+// length prefixes prevent concatenation collisions, incomplete keys are
+// rejected by both ends of the store.
+func TestKeyAlgebra(t *testing.T) {
+	base := testKey("gcc")
+	variants := []Key{
+		{Workload: base.Workload + "x", Config: base.Config, Options: base.Options},
+		{Workload: base.Workload, Config: base.Config + "x", Options: base.Options},
+		{Workload: base.Workload, Config: base.Config, Options: base.Options + "x"},
+		// Shuffling bytes across part boundaries must not collide.
+		{Workload: base.Workload + "a", Config: "b" + base.Config, Options: base.Options},
+	}
+	seen := map[string]bool{base.Hash(): true}
+	for _, v := range variants {
+		h := v.Hash()
+		if seen[h] {
+			t.Errorf("key %+v collides", v)
+		}
+		seen[h] = true
+	}
+	if base.Hash() != base.Hash() {
+		t.Error("hash not deterministic")
+	}
+
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []Key{{}, {Workload: "w"}, {Workload: "w", Options: "o"}} {
+		if _, _, err := s.Get(bad); err == nil {
+			t.Errorf("Get accepted incomplete key %+v", bad)
+		}
+		if err := s.Put(&Entry{Key: bad}); err == nil {
+			t.Errorf("Put accepted incomplete key %+v", bad)
+		}
+	}
+}
+
+// TestCorruptionDetected runs the fault-injection enumerators over a
+// stored entry: every truncation and every single-bit flip must surface
+// as a miss plus an error wrapping ErrCorrupt — never a hit with wrong
+// numbers, never a panic — and the first refusal unlinks the bad file.
+func TestCorruptionDetected(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := testKey("gcc")
+	want := testEntry(k)
+	if err := s.Put(want); err != nil {
+		t.Fatal(err)
+	}
+	path := s.path(k)
+	pristine, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	check := func(label string, mutant []byte) {
+		t.Helper()
+		if err := os.WriteFile(path, mutant, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		e, hit, gerr := s.Get(k)
+		if hit || e != nil {
+			t.Fatalf("%s: corrupt entry served as a hit: %+v", label, e)
+		}
+		if !errors.Is(gerr, ErrCorrupt) {
+			t.Fatalf("%s: error %v does not wrap ErrCorrupt", label, gerr)
+		}
+		if _, err := os.Stat(path); !errors.Is(err, os.ErrNotExist) {
+			t.Fatalf("%s: corrupt entry not unlinked (stat: %v)", label, err)
+		}
+	}
+	faultinject.EachTruncation(pristine, func(n int, mutant []byte) {
+		check(fmt.Sprintf("truncate@%d", n), mutant)
+	})
+	faultinject.EachBitFlip(pristine, func(off int, bit uint, mutant []byte) {
+		check(fmt.Sprintf("flip@%d.%d", off, bit), mutant)
+	})
+
+	// The intact bytes still work afterwards.
+	if err := os.WriteFile(path, pristine, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, hit, err := s.Get(k); !hit || err != nil {
+		t.Fatalf("pristine entry refused: hit=%v err=%v", hit, err)
+	}
+}
+
+// TestWrongKeyInFile covers the hash-collision / renamed-file case: an
+// intact entry sitting under another key's path is refused, not served.
+func TestWrongKeyInFile(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := testKey("gcc")
+	if err := s.Put(testEntry(k)); err != nil {
+		t.Fatal(err)
+	}
+	other := testKey("go")
+	if err := os.Rename(s.path(k), s.path(other)); err != nil {
+		t.Fatal(err)
+	}
+	if _, hit, err := s.Get(other); hit || !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("misfiled entry: hit=%v err=%v", hit, err)
+	}
+}
+
+// TestPutIsAtomic pins that Put leaves no temp files behind and that a
+// re-Put (same key) replaces the entry cleanly.
+func TestPutIsAtomic(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := testKey("gcc")
+	e := testEntry(k)
+	if err := s.Put(e); err != nil {
+		t.Fatal(err)
+	}
+	e.Mispredicts = 99
+	if err := s.Put(e); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, de := range entries {
+		if strings.HasPrefix(de.Name(), ".put-") {
+			t.Errorf("temp file left behind: %s", de.Name())
+		}
+		if filepath.Ext(de.Name()) != ".ev8c" {
+			t.Errorf("unexpected file in store: %s", de.Name())
+		}
+	}
+	got, hit, err := s.Get(k)
+	if err != nil || !hit || got.Mispredicts != 99 {
+		t.Fatalf("re-put not visible: hit=%v err=%v entry=%+v", hit, err, got)
+	}
+}

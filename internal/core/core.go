@@ -96,6 +96,9 @@ type Predictor struct {
 	cfg   Config
 	banks [NumBanks]*counter.Split
 	name  string
+	// customIndexes records that cfg.Indexes was caller-supplied, i.e. the
+	// configuration is not canonicalizable (ConfigKey returns "").
+	customIndexes bool
 	// st holds the attribution counters when collection is enabled
 	// (stats.Instrumented); nil — the default — keeps the update path
 	// attribution-free apart from this one pointer check.
@@ -116,7 +119,7 @@ func New(cfg Config) (*Predictor, error) {
 			return nil, fmt.Errorf("core: %v history length %d out of range", b, bc.HistLen)
 		}
 	}
-	p := &Predictor{cfg: cfg}
+	p := &Predictor{cfg: cfg, customIndexes: cfg.Indexes != nil}
 	for b := BIM; b < NumBanks; b++ {
 		s, err := counter.NewSplit(cfg.Banks[b].Entries, cfg.Banks[b].HystEntries)
 		if err != nil {

@@ -102,6 +102,29 @@ func (a *Array) Update(i uint64, taken bool) {
 	}
 }
 
+// WordCount returns the number of backing 64-bit words — the exact length
+// StateWords returns and LoadWords requires, so a restorer can validate a
+// decoded snapshot's shape before touching any live state.
+func (a *Array) WordCount() int { return len(a.words) }
+
+// StateWords returns a copy of the packed counter words, for serialization
+// (predictor.Snapshotter).
+func (a *Array) StateWords() []uint64 {
+	out := make([]uint64, len(a.words))
+	copy(out, a.words)
+	return out
+}
+
+// LoadWords replaces the counter state with ws, which must have exactly
+// WordCount words. The array is untouched on error.
+func (a *Array) LoadWords(ws []uint64) error {
+	if len(ws) != len(a.words) {
+		return fmt.Errorf("counter: state has %d words, array needs %d", len(ws), len(a.words))
+	}
+	copy(a.words, ws)
+	return nil
+}
+
 // mask returns the index mask when entries is a power of two, otherwise it
 // performs a bounds check by panicking via slice access later. All predictor
 // tables in this library are powers of two; mask keeps Get/Set branch-free.
@@ -143,6 +166,26 @@ func (b *BitArray) Set(i uint64, v bool) {
 	} else {
 		b.words[i>>6] &^= 1 << (i & 63)
 	}
+}
+
+// WordCount returns the number of backing 64-bit words (see Array.WordCount).
+func (b *BitArray) WordCount() int { return len(b.words) }
+
+// StateWords returns a copy of the packed bits, for serialization.
+func (b *BitArray) StateWords() []uint64 {
+	out := make([]uint64, len(b.words))
+	copy(out, b.words)
+	return out
+}
+
+// LoadWords replaces the bit state with ws, which must have exactly
+// WordCount words. The array is untouched on error.
+func (b *BitArray) LoadWords(ws []uint64) error {
+	if len(ws) != len(b.words) {
+		return fmt.Errorf("counter: state has %d words, bit array needs %d", len(ws), len(b.words))
+	}
+	copy(b.words, ws)
+	return nil
 }
 
 func (b *BitArray) mask() uint64 {
@@ -298,6 +341,19 @@ func (s *Split) Update(i uint64, taken bool) {
 // reads (a hysteresis read happens only on the misprediction path, §4.3).
 func (s *Split) Traffic() (predWrites, hystWrites, hystReads int64) {
 	return s.predWrites, s.hystWrites, s.hystReads
+}
+
+// PredArray exposes the prediction bit array for serialization.
+func (s *Split) PredArray() *BitArray { return s.pred }
+
+// HystArray exposes the hysteresis bit array for serialization.
+func (s *Split) HystArray() *BitArray { return s.hyst }
+
+// LoadTraffic restores the write-traffic counters, which are mutable
+// predictor state (the ablation harness and stats.Instrumented report
+// them), so a restored bank keeps reporting seamlessly.
+func (s *Split) LoadTraffic(predWrites, hystWrites, hystReads int64) {
+	s.predWrites, s.hystWrites, s.hystReads = predWrites, hystWrites, hystReads
 }
 
 // Reset clears the bank to the initial weakly-not-taken state and zeroes

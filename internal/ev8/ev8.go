@@ -36,6 +36,8 @@ type Predictor struct {
 	seq     bankSequencer
 	pending snapRing
 	name    string
+	idxOpts IndexOptions
+	partial bool
 
 	// bank-scheduling statistics for the §6 conflict-freedom checks
 	blocksSeen    int64
@@ -54,7 +56,7 @@ type Predictor struct {
 
 // New builds the EV8 predictor.
 func New(cfg Config) (*Predictor, error) {
-	p := &Predictor{lastBank: -1}
+	p := &Predictor{lastBank: -1, idxOpts: cfg.Index, partial: cfg.PartialUpdate}
 	coreCfg := core.ConfigEV8Size()
 	coreCfg.PartialUpdate = cfg.PartialUpdate
 	coreCfg.Indexes = newIndexSet(&p.seq, cfg.Index, coreCfg)

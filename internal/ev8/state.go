@@ -1,0 +1,249 @@
+package ev8
+
+// Checkpoint/resume state for the EV8 predictor (predictor.Snapshotter):
+// the inner 2Bc-gskew machine's snapshot is nested verbatim, followed by
+// everything the wrapper owns — the two-block-ahead bank sequencer, the
+// in-flight prediction-snapshot ring, and the §6 scheduling/cycle
+// observations. The sequencer state matters for bit-identical resume: the
+// §7 index functions consult it, so a resumed run must see the exact
+// sequencing position the checkpointed run had.
+
+import (
+	"fmt"
+
+	"ev8pred/internal/predictor"
+	"ev8pred/internal/snapshot"
+)
+
+const stateLabel = "ev8/v1"
+
+// ConfigKey implements predictor.ConfigKeyer. The EV8 configuration space
+// is (index options, update policy, name); the core geometry is fixed by
+// ConfigEV8Size.
+func (p *Predictor) ConfigKey() string {
+	return fmt.Sprintf("ev8|addrWL=%v|partial=%v|name=%s",
+		p.idxOpts.AddressOnlyWordline, p.partial, p.name)
+}
+
+// SnapshotState implements predictor.Snapshotter.
+func (p *Predictor) SnapshotState() []byte {
+	e := snapshot.NewEncoder(stateLabel)
+	e.String(p.ConfigKey())
+	e.Bytes(p.core.SnapshotState())
+
+	// Bank sequencer.
+	s := &p.seq
+	for i := range s.recent {
+		e.Uint64(s.recent[i].addr)
+		e.Byte(s.recent[i].bank)
+	}
+	e.Uint64(uint64(s.head))
+	e.Uint64(s.curAddr)
+	e.Byte(s.curBank)
+	e.Uint64(s.prevAddr)
+	e.Byte(s.lastIssued)
+	e.Bool(s.started)
+
+	// In-flight prediction snapshots, oldest first.
+	e.Uint64(uint64(p.pending.n))
+	for i := 0; i < p.pending.n; i++ {
+		ent := &p.pending.buf[(p.pending.tail+i)%snapRingDepth]
+		e.Uint64(ent.info.PC)
+		e.Uint64(ent.info.BlockPC)
+		e.Uint64(ent.info.Hist)
+		e.Uint64(ent.info.Path[0])
+		e.Uint64(ent.info.Path[1])
+		e.Uint64(ent.info.Path[2])
+		e.Int64(int64(ent.info.Thread))
+		for k := 0; k < predictor.MaxSnapshotBanks; k++ {
+			e.Uint64(ent.snap.Idx[k])
+		}
+		e.Byte(ent.snap.Preds)
+		e.Bool(ent.snap.Final)
+		e.Bool(ent.snap.Aux)
+	}
+
+	// Scheduling and fetch-cycle observations.
+	e.Int64(p.blocksSeen)
+	e.Int64(p.bankConflicts)
+	e.Int64(int64(p.lastBank))
+	e.Uint64(p.lastAddr)
+	for k := range p.bankUse {
+		e.Int64(p.bankUse[k])
+	}
+	e.Int64(p.cycles)
+	e.Uint64(uint64(p.cycleSlot))
+	e.Uint64(uint64(p.cycleConds))
+	for k := range p.condsPerCycle {
+		e.Int64(p.condsPerCycle[k])
+	}
+	return e.Finish()
+}
+
+// RestoreState implements predictor.Snapshotter. All state — including the
+// nested core restore — is decoded and validated before anything is
+// committed; the receiver is unchanged on error.
+func (p *Predictor) RestoreState(data []byte) error {
+	d, err := snapshot.NewDecoder(data, stateLabel)
+	if err != nil {
+		return err
+	}
+	key, err := d.String()
+	if err != nil {
+		return err
+	}
+	if key != p.ConfigKey() {
+		return fmt.Errorf("%w: snapshot of %q cannot restore into %q",
+			snapshot.ErrBadSnapshot, key, p.ConfigKey())
+	}
+	coreBytes, err := d.Bytes()
+	if err != nil {
+		return err
+	}
+
+	var seq bankSequencer
+	for i := range seq.recent {
+		if seq.recent[i].addr, err = d.Uint64(); err != nil {
+			return err
+		}
+		if seq.recent[i].bank, err = d.Byte(); err != nil {
+			return err
+		}
+	}
+	head, err := d.Uint64()
+	if err != nil {
+		return err
+	}
+	if int(head) >= len(seq.recent) {
+		return fmt.Errorf("%w: sequencer head %d out of range [0,%d)",
+			snapshot.ErrBadSnapshot, head, len(seq.recent))
+	}
+	seq.head = int(head)
+	if seq.curAddr, err = d.Uint64(); err != nil {
+		return err
+	}
+	if seq.curBank, err = d.Byte(); err != nil {
+		return err
+	}
+	if seq.prevAddr, err = d.Uint64(); err != nil {
+		return err
+	}
+	if seq.lastIssued, err = d.Byte(); err != nil {
+		return err
+	}
+	if seq.started, err = d.Bool(); err != nil {
+		return err
+	}
+
+	nPending, err := d.Uint64()
+	if err != nil {
+		return err
+	}
+	if nPending > snapRingDepth {
+		return fmt.Errorf("%w: %d pending snapshots exceed ring depth %d",
+			snapshot.ErrBadSnapshot, nPending, snapRingDepth)
+	}
+	var ring snapRing
+	ring.n = int(nPending)
+	for i := 0; i < ring.n; i++ {
+		ent := &ring.buf[i]
+		for _, v := range []*uint64{
+			&ent.info.PC, &ent.info.BlockPC, &ent.info.Hist,
+			&ent.info.Path[0], &ent.info.Path[1], &ent.info.Path[2],
+		} {
+			if *v, err = d.Uint64(); err != nil {
+				return err
+			}
+		}
+		thread, err := d.Int64()
+		if err != nil {
+			return err
+		}
+		ent.info.Thread = int(thread)
+		for k := 0; k < predictor.MaxSnapshotBanks; k++ {
+			if ent.snap.Idx[k], err = d.Uint64(); err != nil {
+				return err
+			}
+		}
+		if ent.snap.Preds, err = d.Byte(); err != nil {
+			return err
+		}
+		if ent.snap.Final, err = d.Bool(); err != nil {
+			return err
+		}
+		if ent.snap.Aux, err = d.Bool(); err != nil {
+			return err
+		}
+	}
+
+	var (
+		blocksSeen, bankConflicts, lastBank int64
+		lastAddr                            uint64
+		bankUse                             [NumPredictorBanks]int64
+		cycles                              int64
+		cycleSlot, cycleConds               uint64
+		condsPerCycle                       [17]int64
+	)
+	if blocksSeen, err = d.Int64(); err != nil {
+		return err
+	}
+	if bankConflicts, err = d.Int64(); err != nil {
+		return err
+	}
+	if lastBank, err = d.Int64(); err != nil {
+		return err
+	}
+	if lastAddr, err = d.Uint64(); err != nil {
+		return err
+	}
+	for k := range bankUse {
+		if bankUse[k], err = d.Int64(); err != nil {
+			return err
+		}
+	}
+	if cycles, err = d.Int64(); err != nil {
+		return err
+	}
+	if cycleSlot, err = d.Uint64(); err != nil {
+		return err
+	}
+	if cycleConds, err = d.Uint64(); err != nil {
+		return err
+	}
+	for k := range condsPerCycle {
+		if condsPerCycle[k], err = d.Int64(); err != nil {
+			return err
+		}
+	}
+	if err := d.Finish(); err != nil {
+		return err
+	}
+	if lastBank < -1 || lastBank >= NumPredictorBanks {
+		return fmt.Errorf("%w: last bank %d out of range [-1,%d)",
+			snapshot.ErrBadSnapshot, lastBank, NumPredictorBanks)
+	}
+	if cycleSlot > 1 || cycleConds > 16 {
+		return fmt.Errorf("%w: cycle state slot=%d conds=%d out of range",
+			snapshot.ErrBadSnapshot, cycleSlot, cycleConds)
+	}
+
+	// Commit point: the core restore is the last fallible step.
+	if err := p.core.RestoreState(coreBytes); err != nil {
+		return err
+	}
+	p.seq = seq
+	p.pending = ring
+	p.blocksSeen = blocksSeen
+	p.bankConflicts = bankConflicts
+	p.lastBank = int16(lastBank)
+	p.lastAddr = lastAddr
+	p.bankUse = bankUse
+	p.cycles = cycles
+	p.cycleSlot = int(cycleSlot)
+	p.cycleConds = int(cycleConds)
+	p.condsPerCycle = condsPerCycle
+	return nil
+}
+
+var _ predictor.Snapshotter = (*Predictor)(nil)
+var _ predictor.ConfigKeyer = (*Predictor)(nil)

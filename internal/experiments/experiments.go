@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"sort"
 
+	"ev8pred/internal/cache"
 	"ev8pred/internal/report"
 	"ev8pred/internal/sim"
 	"ev8pred/internal/workload"
@@ -43,11 +44,22 @@ type Config struct {
 	// Progress, if non-nil, receives one event per completed simulation
 	// cell (cmd/ev8bench -v wires a throughput counter here).
 	Progress sim.ProgressFunc
+	// Cache, if non-nil, is the content-addressed result store consulted
+	// before (and fed after) every simulation cell; a regenerated table
+	// whose cells are all cached costs file reads instead of stream
+	// simulations (docs/CACHING.md). cmd/ev8bench's -cache flag opens it.
+	Cache *cache.Store
+	// Log, if non-nil, receives harness diagnostics (a corrupt cache
+	// entry refused and recomputed, a result that could not be stored).
+	Log func(format string, args ...interface{})
 }
 
 // pool returns the fan-out configuration shared by every generator.
 func (cfg Config) pool() sim.PoolOptions {
-	return sim.PoolOptions{Workers: cfg.Workers, Progress: cfg.Progress, Ensemble: cfg.Ensemble}
+	return sim.PoolOptions{
+		Workers: cfg.Workers, Progress: cfg.Progress, Ensemble: cfg.Ensemble,
+		Cache: cfg.Cache, Log: cfg.Log,
+	}
 }
 
 // Default returns the standard harness configuration.

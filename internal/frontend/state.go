@@ -1,0 +1,137 @@
+package frontend
+
+import (
+	"fmt"
+
+	"ev8pred/internal/snapshot"
+)
+
+// stateLabel fingerprints the tracker snapshot payload.
+const stateLabel = "frontend.Tracker/v1"
+
+// SnapshotState serializes the tracker's mutable state — histories, delay
+// line, path queue, flow position and in-progress block — so a run can be
+// checkpointed mid-block and resumed bit-identically. Configuration (mode,
+// leniency, thread tag, observer) is not serialized; the restoring tracker
+// must be constructed identically, which RestoreState validates.
+func (t *Tracker) SnapshotState() []byte {
+	e := snapshot.NewEncoder(stateLabel)
+	// Configuration fingerprint, validated on restore.
+	e.Bool(t.mode.Compressed)
+	e.Bool(t.mode.PathBit)
+	e.Uint64(uint64(t.mode.DelayBlocks))
+
+	e.Uint64(t.ghist.Value())
+	e.Uint64(t.lg.Value())
+	buf, head := t.lgDelay.State()
+	e.Words(buf)
+	e.Uint64(uint64(head))
+	path := t.path.Snapshot()
+	e.Uint64(path[0])
+	e.Uint64(path[1])
+	e.Uint64(path[2])
+
+	e.Uint64(t.flowPC)
+	e.Uint64(t.blockStart)
+	e.Bool(t.started)
+	e.Bool(t.blockHasCond)
+	e.Uint64(uint64(t.blockCondCount))
+	e.Uint64(t.blockLastPC)
+	e.Bool(t.blockLastTaken)
+
+	e.Int64(t.blocks)
+	e.Int64(t.lgBits)
+	e.Int64(t.condSeen)
+	e.Int64(t.resyncs)
+	return e.Finish()
+}
+
+// RestoreState replaces the tracker's mutable state with a snapshot taken
+// from an identically-configured tracker. All state is decoded and
+// validated before any field is touched: on error the tracker is unchanged.
+func (t *Tracker) RestoreState(data []byte) error {
+	d, err := snapshot.NewDecoder(data, stateLabel)
+	if err != nil {
+		return err
+	}
+	var (
+		compressed, pathBit      bool
+		delayBlocks              uint64
+		ghist, lg                uint64
+		delayBuf                 []uint64
+		delayHead                uint64
+		path                     [3]uint64
+		flowPC, blockStart       uint64
+		started, blockHasCond    bool
+		blockCondCount           uint64
+		blockLastPC              uint64
+		blockLastTaken           bool
+		blocks, lgBits, condSeen int64
+		resyncs                  int64
+	)
+	fields := []func() error{
+		func() (err error) { compressed, err = d.Bool(); return },
+		func() (err error) { pathBit, err = d.Bool(); return },
+		func() (err error) { delayBlocks, err = d.Uint64(); return },
+		func() (err error) { ghist, err = d.Uint64(); return },
+		func() (err error) { lg, err = d.Uint64(); return },
+		func() (err error) { delayBuf, err = d.WordsExact(t.lgDelay.Depth() + 1); return },
+		func() (err error) { delayHead, err = d.Uint64(); return },
+		func() (err error) { path[0], err = d.Uint64(); return },
+		func() (err error) { path[1], err = d.Uint64(); return },
+		func() (err error) { path[2], err = d.Uint64(); return },
+		func() (err error) { flowPC, err = d.Uint64(); return },
+		func() (err error) { blockStart, err = d.Uint64(); return },
+		func() (err error) { started, err = d.Bool(); return },
+		func() (err error) { blockHasCond, err = d.Bool(); return },
+		func() (err error) { blockCondCount, err = d.Uint64(); return },
+		func() (err error) { blockLastPC, err = d.Uint64(); return },
+		func() (err error) { blockLastTaken, err = d.Bool(); return },
+		func() (err error) { blocks, err = d.Int64(); return },
+		func() (err error) { lgBits, err = d.Int64(); return },
+		func() (err error) { condSeen, err = d.Int64(); return },
+		func() (err error) { resyncs, err = d.Int64(); return },
+	}
+	for _, f := range fields {
+		if err := f(); err != nil {
+			return err
+		}
+	}
+	if err := d.Finish(); err != nil {
+		return err
+	}
+	if compressed != t.mode.Compressed || pathBit != t.mode.PathBit ||
+		int(delayBlocks) != t.mode.DelayBlocks {
+		return fmt.Errorf("%w: tracker snapshot mode {compressed=%v path=%v delay=%d} does not match %v",
+			snapshot.ErrBadSnapshot, compressed, pathBit, delayBlocks, t.mode)
+	}
+	if int(delayHead) >= len(delayBuf) {
+		return fmt.Errorf("%w: tracker delay head %d out of range [0,%d)",
+			snapshot.ErrBadSnapshot, delayHead, len(delayBuf))
+	}
+	if int(blockCondCount) < 0 || blockCondCount > 8 {
+		return fmt.Errorf("%w: tracker block cond count %d outside [0,8]",
+			snapshot.ErrBadSnapshot, blockCondCount)
+	}
+
+	t.ghist.Set(ghist)
+	t.lg.Set(lg)
+	if err := t.lgDelay.Restore(delayBuf, int(delayHead)); err != nil {
+		// Unreachable after the WordsExact/head validation above, but a
+		// restore must never half-apply.
+		return fmt.Errorf("%w: %v", snapshot.ErrBadSnapshot, err)
+	}
+	t.path.Restore(path)
+	t.flowPC = flowPC
+	t.blockStart = blockStart
+	t.started = started
+	t.blockHasCond = blockHasCond
+	t.blockCondCount = int(blockCondCount)
+	t.blockLastPC = blockLastPC
+	t.blockLastTaken = blockLastTaken
+	t.blocks = blocks
+	t.lgBits = lgBits
+	t.condSeen = condSeen
+	t.resyncs = resyncs
+	return nil
+}

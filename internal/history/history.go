@@ -15,6 +15,8 @@
 // which comfortably covers every length the paper uses (the longest is 27).
 package history
 
+import "fmt"
+
 // MaxLen is the maximum history length maintained by a Register.
 const MaxLen = 64
 
@@ -105,6 +107,10 @@ func (q *PathQueue) Y() uint64 { return q.addrs[1] }
 // Reset clears the queue.
 func (q *PathQueue) Reset() { q.addrs = [3]uint64{} }
 
+// Restore forces the queue contents, most recent first (the layout
+// Snapshot returns). Used by checkpoint/restore.
+func (q *PathQueue) Restore(addrs [3]uint64) { q.addrs = addrs }
+
 // DelayLine yields values with a fixed delay of depth pushes: Old() returns
 // the value pushed depth calls ago (or the initial zero value early on).
 // With depth 3 and one push per fetch block it implements the "three fetch
@@ -144,6 +150,28 @@ func (d *DelayLine) Old() uint64 {
 
 // Depth returns the configured delay.
 func (d *DelayLine) Depth() int { return d.depth }
+
+// State returns a copy of the ring buffer and the head index, for
+// serialization. The buffer has Depth()+1 slots.
+func (d *DelayLine) State() ([]uint64, int) {
+	buf := make([]uint64, len(d.buf))
+	copy(buf, d.buf)
+	return buf, d.head
+}
+
+// Restore replaces the ring state. buf must have Depth()+1 slots and head
+// must index into it; the line is untouched on error.
+func (d *DelayLine) Restore(buf []uint64, head int) error {
+	if len(buf) != len(d.buf) {
+		return fmt.Errorf("history: delay state has %d slots, line needs %d", len(buf), len(d.buf))
+	}
+	if head < 0 || head >= len(d.buf) {
+		return fmt.Errorf("history: delay head %d out of range [0,%d)", head, len(d.buf))
+	}
+	copy(d.buf, buf)
+	d.head = head
+	return nil
+}
 
 // Reset clears the line to zero values.
 func (d *DelayLine) Reset() {

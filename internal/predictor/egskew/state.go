@@ -1,0 +1,101 @@
+package egskew
+
+import (
+	"fmt"
+
+	"ev8pred/internal/predictor"
+	"ev8pred/internal/snapshot"
+)
+
+var _ predictor.Snapshotter = (*EGskew)(nil)
+var _ predictor.ConfigKeyer = (*EGskew)(nil)
+
+const stateLabel = "egskew/v1"
+
+// ConfigKey implements predictor.ConfigKeyer. The skewing family is a
+// deterministic function of the bank width (skew.NewFamily), so bank size,
+// history length and update policy pin the behavior completely.
+func (e *EGskew) ConfigKey() string {
+	return fmt.Sprintf("egskew|entries=%d|hist=%d|partial=%v", e.bim.Len(), e.histLen, e.partial)
+}
+
+// SnapshotState implements predictor.Snapshotter: the three counter banks
+// plus the attribution counters.
+func (e *EGskew) SnapshotState() []byte {
+	enc := snapshot.NewEncoder(stateLabel)
+	enc.String(e.ConfigKey())
+	enc.Words(e.bim.StateWords())
+	enc.Words(e.g0.StateWords())
+	enc.Words(e.g1.StateWords())
+	enc.Bool(e.st != nil)
+	if e.st != nil {
+		st := e.st
+		enc.Int64(st.updates)
+		enc.Int64(st.mispredicts)
+		for k := 0; k < 3; k++ {
+			enc.Int64(st.bankWrongOnMisp[k])
+		}
+		for k := 0; k < 3; k++ {
+			enc.Int64(st.bankWrongAbsorbed[k])
+		}
+		enc.Int64(st.correctStrengthen)
+		enc.Int64(st.mispFull)
+		enc.Int64(st.totalPolicy)
+		for k := 0; k < 3; k++ {
+			enc.Int64(st.predFlips[k])
+		}
+	}
+	return enc.Finish()
+}
+
+// RestoreState implements predictor.Snapshotter. The receiver is unchanged
+// on error.
+func (e *EGskew) RestoreState(data []byte) error {
+	d, err := snapshot.NewDecoder(data, stateLabel)
+	if err != nil {
+		return err
+	}
+	key, err := d.String()
+	if err != nil {
+		return err
+	}
+	if key != e.ConfigKey() {
+		return fmt.Errorf("%w: snapshot of %q cannot restore into %q",
+			snapshot.ErrBadSnapshot, key, e.ConfigKey())
+	}
+	var banks [3][]uint64
+	for k, arr := range [3]interface{ WordCount() int }{e.bim, e.g0, e.g1} {
+		if banks[k], err = d.WordsExact(arr.WordCount()); err != nil {
+			return err
+		}
+	}
+	hasStats, err := d.Bool()
+	if err != nil {
+		return err
+	}
+	var st *egskewStats
+	if hasStats {
+		st = &egskewStats{}
+		for _, p := range []*int64{
+			&st.updates, &st.mispredicts,
+			&st.bankWrongOnMisp[0], &st.bankWrongOnMisp[1], &st.bankWrongOnMisp[2],
+			&st.bankWrongAbsorbed[0], &st.bankWrongAbsorbed[1], &st.bankWrongAbsorbed[2],
+			&st.correctStrengthen, &st.mispFull, &st.totalPolicy,
+			&st.predFlips[0], &st.predFlips[1], &st.predFlips[2],
+		} {
+			if *p, err = d.Int64(); err != nil {
+				return err
+			}
+		}
+	}
+	if err := d.Finish(); err != nil {
+		return err
+	}
+	for k, arr := range [3]interface{ LoadWords([]uint64) error }{e.bim, e.g0, e.g1} {
+		if err := arr.LoadWords(banks[k]); err != nil {
+			return fmt.Errorf("%w: %v", snapshot.ErrBadSnapshot, err)
+		}
+	}
+	e.st = st
+	return nil
+}

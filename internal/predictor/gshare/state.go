@@ -1,0 +1,83 @@
+package gshare
+
+import (
+	"fmt"
+
+	"ev8pred/internal/predictor"
+	"ev8pred/internal/snapshot"
+)
+
+var _ predictor.Snapshotter = (*Gshare)(nil)
+var _ predictor.ConfigKeyer = (*Gshare)(nil)
+
+const stateLabel = "gshare/v1"
+
+// ConfigKey implements predictor.ConfigKeyer. gshare's behavior is fully
+// determined by table size and history length.
+func (g *Gshare) ConfigKey() string {
+	return fmt.Sprintf("gshare|entries=%d|hist=%d", g.table.Len(), g.histLen)
+}
+
+// SnapshotState implements predictor.Snapshotter: the counter table plus
+// the attribution counters (so a restored run keeps reporting seamlessly).
+func (g *Gshare) SnapshotState() []byte {
+	e := snapshot.NewEncoder(stateLabel)
+	e.String(g.ConfigKey())
+	e.Words(g.table.StateWords())
+	e.Bool(g.st != nil)
+	if g.st != nil {
+		st := g.st
+		e.Int64(st.updates)
+		e.Int64(st.mispredicts)
+		e.Int64(st.mispWeak)
+		e.Int64(st.mispStrong)
+		e.Int64(st.strengthens)
+		e.Int64(st.predFlips)
+	}
+	return e.Finish()
+}
+
+// RestoreState implements predictor.Snapshotter. The receiver is unchanged
+// on error.
+func (g *Gshare) RestoreState(data []byte) error {
+	d, err := snapshot.NewDecoder(data, stateLabel)
+	if err != nil {
+		return err
+	}
+	key, err := d.String()
+	if err != nil {
+		return err
+	}
+	if key != g.ConfigKey() {
+		return fmt.Errorf("%w: snapshot of %q cannot restore into %q",
+			snapshot.ErrBadSnapshot, key, g.ConfigKey())
+	}
+	words, err := d.WordsExact(g.table.WordCount())
+	if err != nil {
+		return err
+	}
+	hasStats, err := d.Bool()
+	if err != nil {
+		return err
+	}
+	var st *gshareStats
+	if hasStats {
+		st = &gshareStats{}
+		for _, p := range []*int64{
+			&st.updates, &st.mispredicts, &st.mispWeak,
+			&st.mispStrong, &st.strengthens, &st.predFlips,
+		} {
+			if *p, err = d.Int64(); err != nil {
+				return err
+			}
+		}
+	}
+	if err := d.Finish(); err != nil {
+		return err
+	}
+	if err := g.table.LoadWords(words); err != nil {
+		return fmt.Errorf("%w: %v", snapshot.ErrBadSnapshot, err)
+	}
+	g.st = st
+	return nil
+}

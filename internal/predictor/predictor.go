@@ -32,6 +32,41 @@ type Predictor interface {
 	Reset()
 }
 
+// Snapshotter is the optional checkpoint/resume contract: a predictor that
+// can serialize its complete mutable state — counter arrays, meta and
+// hysteresis tables, internal sequencing state, attribution counters — and
+// restore it bit-identically later. sim.Checkpoint requires it; the
+// simulator returns a typed error for predictors that do not implement it.
+//
+// Contract: after p2.RestoreState(p1.SnapshotState()) on an identically
+// configured p2, every subsequent Predict/Update (or Lookup/UpdateWith)
+// sequence must behave bit-identically on p1 and p2, including reported
+// Stats. RestoreState must validate the payload against the receiver's
+// configuration and leave the receiver UNCHANGED on any error — a failed
+// restore must never produce a silently half-restored predictor. Errors
+// wrap snapshot.ErrBadSnapshot.
+type Snapshotter interface {
+	Predictor
+	// SnapshotState serializes all mutable state into a self-describing,
+	// checksummed container (package snapshot).
+	SnapshotState() []byte
+	// RestoreState replaces all mutable state from a SnapshotState
+	// payload produced by an identically-configured predictor.
+	RestoreState(data []byte) error
+}
+
+// ConfigKeyer is the optional cache-key contract: a predictor whose full
+// configuration (not state) can be rendered as a canonical string, so two
+// predictors with equal keys are guaranteed to produce identical results
+// on identical inputs. Predictors that cannot guarantee this (e.g. ones
+// configured with opaque custom index functions) return "" and are simply
+// never cached.
+type ConfigKeyer interface {
+	// ConfigKey returns the canonical configuration string, or "" when
+	// the configuration cannot be canonicalized.
+	ConfigKey() string
+}
+
 // MaxSnapshotBanks is the widest per-branch index set a Snapshot carries:
 // the four logical banks of 2Bc-gskew. Schemes with fewer banks use a
 // prefix of the array.

@@ -116,6 +116,28 @@ func fillBatch(src trace.Source, bs trace.BatchSource, buf []trace.Branch) (int,
 // Run. An empty factory list returns an empty, non-nil slice without
 // touching src.
 func RunEnsemble(factories []Factory, src trace.Source, opts Options) ([]Result, error) {
+	return runEnsemble(factories, src, opts, nil)
+}
+
+// RunEnsembleFrom is the warm-state fan-out: every factory's member is
+// restored from the SAME checkpoint — one warmup simulation, K copies of
+// the warm state — and the ensemble continues over src, which must be
+// positioned exactly ck.Records records into the checkpointed stream.
+// Each member's Result covers the whole run (warm prefix plus
+// continuation) and is bit-identical to an independent straight-through
+// Run of that member; every member must implement predictor.Snapshotter
+// and carry the checkpointed predictor's name and configuration.
+// RunWarmEnsembleBenchmark packages the warm-once/fan-out-K sequence.
+func RunEnsembleFrom(factories []Factory, src trace.Source, opts Options, ck *Checkpoint) ([]Result, error) {
+	if ck == nil {
+		return nil, fmt.Errorf("sim: nil checkpoint for warm ensemble")
+	}
+	return runEnsemble(factories, src, opts, ck)
+}
+
+// runEnsemble is the engine behind RunEnsemble and RunEnsembleFrom; a nil
+// ck runs cold from the stream start.
+func runEnsemble(factories []Factory, src trace.Source, opts Options, ck *Checkpoint) ([]Result, error) {
 	results := make([]Result, len(factories))
 	if len(factories) == 0 {
 		return results, nil
@@ -130,6 +152,17 @@ func RunEnsemble(factories []Factory, src trace.Source, opts Options) ([]Result,
 		m := &members[i]
 		m.p = p
 		m.fp, m.fused = p.(predictor.FusedPredictor)
+		if ck != nil {
+			// Restore BEFORE enabling attribution, exactly as in run():
+			// enabling an already-collecting predictor is a no-op, so a
+			// checkpointed collection window survives the hand-off.
+			if err := ck.validateResume(p, opts); err != nil {
+				return nil, fmt.Errorf("sim: warm ensemble member %d: %w", i, err)
+			}
+			if err := p.(predictor.Snapshotter).RestoreState(ck.PredictorState); err != nil {
+				return nil, fmt.Errorf("sim: warm ensemble member %d: %w", i, err)
+			}
+		}
 		if opts.Collect {
 			if inst, ok := p.(stats.Instrumented); ok {
 				m.inst = inst
@@ -138,6 +171,16 @@ func RunEnsemble(factories []Factory, src trace.Source, opts Options) ([]Result,
 		}
 		if opts.UpdateDelay > 0 {
 			m.ring = make([]pendingUpdate, opts.UpdateDelay)
+			if ck != nil {
+				for k := range ck.Pending {
+					pu := &ck.Pending[k]
+					m.ring[k] = pendingUpdate{info: pu.Info, snap: pu.Snap, taken: pu.Taken}
+				}
+				m.count = len(ck.Pending)
+			}
+		}
+		if ck != nil {
+			m.mispredicts = ck.Mispredicts
 		}
 		if obs, ok := p.(BlockObserver); ok {
 			observers = append(observers, obs)
@@ -165,6 +208,21 @@ func RunEnsemble(factories []Factory, src trace.Source, opts Options) ([]Result,
 		info   history.Info
 		isCond bool
 	)
+	if ck != nil {
+		// The front end is shared, so the warm tracker state is restored
+		// once; the onBlock fan-out re-attaches to every observing member.
+		for _, ts := range ck.Trackers {
+			tr, err := trackers.create(ts.Thread, opts, onBlock)
+			if err != nil {
+				return results, err
+			}
+			if err := tr.RestoreState(ts.State); err != nil {
+				return results, fmt.Errorf("sim: restoring tracker for thread %d: %w", ts.Thread, err)
+			}
+		}
+		branches = ck.RawBranches
+		instructions = ck.Instructions
+	}
 	bs, _ := src.(trace.BatchSource)
 	buf := make([]trace.Branch, ensembleBatch)
 
@@ -287,6 +345,56 @@ func RunEnsembleBenchmark(factories []Factory, prof workload.Profile, instrBudge
 		return nil, err
 	}
 	rs, err := RunEnsemble(factories, g, opts)
+	for i := range rs {
+		rs[i].Workload = prof.Name
+	}
+	return rs, err
+}
+
+// RunWarmEnsembleBenchmark amortizes warmup across an ensemble: ONE
+// predictor from factory simulates the benchmark's first warmBranches
+// conditional branches, its state is checkpointed, and k members resume
+// from copies of that warm state over the continuation of the same stream
+// — the warmup is simulated once instead of k times, extending the
+// ensemble engine's work sharing to state sharing. The k Results are
+// bit-identical to k independent straight-through RunBenchmark calls
+// (which, for a deterministic factory, makes them k identical rows — the
+// amortization matters when the caller perturbs each member's downstream
+// handling, or simply wants the warm checkpoint validated cheaply).
+// warmBranches must be positive and, when opts.MaxBranches is set, below
+// it; the warm prefix runs with the same options.
+func RunWarmEnsembleBenchmark(factory Factory, k int, prof workload.Profile, instrBudget, warmBranches int64, opts Options) ([]Result, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("sim: warm ensemble needs k > 0, got %d", k)
+	}
+	if warmBranches <= 0 {
+		return nil, fmt.Errorf("sim: warm ensemble needs warmBranches > 0, got %d", warmBranches)
+	}
+	if opts.MaxBranches > 0 && warmBranches >= opts.MaxBranches {
+		return nil, fmt.Errorf("sim: warm prefix %d not below MaxBranches %d", warmBranches, opts.MaxBranches)
+	}
+	g, err := workload.New(prof, instrBudget)
+	if err != nil {
+		return nil, err
+	}
+	warm, err := factory()
+	if err != nil {
+		return nil, fmt.Errorf("sim: building warmup predictor: %w", err)
+	}
+	wopts := opts
+	wopts.MaxBranches = warmBranches
+	// The warm run reads one record at a time and never over-reads, so
+	// the SAME generator continues seamlessly into the ensemble — no
+	// reposition step.
+	_, ck, err := RunCheckpoint(warm, g, wopts)
+	if err != nil {
+		return nil, fmt.Errorf("sim: warmup for %s: %w", prof.Name, err)
+	}
+	factories := make([]Factory, k)
+	for i := range factories {
+		factories[i] = factory
+	}
+	rs, err := RunEnsembleFrom(factories, g, opts, ck)
 	for i := range rs {
 		rs[i].Workload = prof.Name
 	}

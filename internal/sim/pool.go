@@ -18,6 +18,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"ev8pred/internal/cache"
 	"ev8pred/internal/workload"
 )
 
@@ -111,6 +112,15 @@ type PoolOptions struct {
 	// cells that share a workload (see EnsembleMode). The zero value
 	// (EnsembleAuto) groups only when the amortization can win.
 	Ensemble EnsembleMode
+	// Cache, if non-nil, answers cells from the content-addressed result
+	// store before simulating and stores fresh results after (see
+	// docs/CACHING.md). Cells whose predictors expose no canonical
+	// configuration key are simulated unconditionally.
+	Cache *cache.Store
+	// Log, if non-nil, receives harness diagnostics — a corrupt cache
+	// entry being refused and recomputed, a result that could not be
+	// stored. Nil discards them; correctness never depends on Log.
+	Log func(format string, args ...interface{})
 }
 
 // Cell is one independent simulation job: a cold predictor from Factory
@@ -135,6 +145,9 @@ type Cell struct {
 // once instead of K times. Grouping changes only the schedule: results,
 // their order, and the per-cell Progress events are the same either way.
 func RunCells(ctx context.Context, cells []Cell, instrBudget int64, pool PoolOptions) ([]Result, error) {
+	if pool.Cache != nil {
+		return runCellsCached(ctx, cells, instrBudget, pool)
+	}
 	if groups := ensembleGroups(cells, pool); groups != nil {
 		return runCellGroups(ctx, cells, groups, instrBudget, pool)
 	}

@@ -221,6 +221,16 @@ func (t *trackerTable) create(id int, opts Options, onBlock func(frontend.Block)
 // accumulated Result fails its sanity check. The Result reflects the
 // branches processed before the failure.
 func Run(p predictor.Predictor, src trace.Source, opts Options) (Result, error) {
+	res, _, err := run(p, src, opts, nil, false)
+	return res, err
+}
+
+// run is the engine behind Run, RunCheckpoint and ResumeFrom: one loop,
+// optionally seeded from a checkpoint (resume != nil) and optionally
+// capturing one at the stop point (doCapture). The per-branch path is
+// identical in all modes — resume seeding and capture both happen outside
+// the loop, preserving the zero-allocation discipline.
+func run(p predictor.Predictor, src trace.Source, opts Options, resume *Checkpoint, doCapture bool) (Result, *Checkpoint, error) {
 	res := Result{Predictor: p.Name(), SizeBits: p.SizeBits()}
 	var trackers trackerTable
 	var onBlock func(frontend.Block)
@@ -229,10 +239,33 @@ func Run(p predictor.Predictor, src trace.Source, opts Options) (Result, error) 
 	}
 	fp, fused := p.(predictor.FusedPredictor)
 
+	var records int64
+	if resume != nil {
+		if err := resume.validateResume(p, opts); err != nil {
+			return res, nil, err
+		}
+		if err := resume.restoreInto(p, opts, &trackers, onBlock); err != nil {
+			return res, nil, err
+		}
+		records = resume.Records
+		res.Branches = resume.RawBranches
+		res.Mispredicts = resume.Mispredicts
+		res.Instructions = resume.Instructions
+	} else if doCapture {
+		// Fail before simulating anything: a checkpointing run against a
+		// predictor that cannot snapshot would only discover it at the
+		// stop point.
+		if _, ok := p.(predictor.Snapshotter); !ok {
+			return res, nil, fmt.Errorf("%w (%s)", ErrNotSnapshottable, p.Name())
+		}
+	}
+
 	// Attribution is enabled once, before the stream; the hot loop below
 	// is identical with or without it (the predictor gates its own
 	// counting). The snapshot happens after the commit-delay queue
-	// drains so delayed updates are attributed too.
+	// drains so delayed updates are attributed too. On resume this runs
+	// AFTER the state restore: enabling an already-collecting predictor
+	// is a no-op, so a checkpointed collection window survives.
 	var inst stats.Instrumented
 	if opts.Collect {
 		inst, _ = p.(stats.Instrumented)
@@ -249,6 +282,13 @@ func Run(p predictor.Predictor, src trace.Source, opts Options) (Result, error) 
 	var head, count int
 	if opts.UpdateDelay > 0 {
 		ring = make([]pendingUpdate, opts.UpdateDelay)
+	}
+	if resume != nil {
+		for i := range resume.Pending {
+			pu := &resume.Pending[i]
+			ring[i] = pendingUpdate{info: pu.Info, snap: pu.Snap, taken: pu.Taken}
+		}
+		count = len(resume.Pending)
 	}
 	apply := func(u *pendingUpdate) {
 		if fused {
@@ -271,12 +311,13 @@ func Run(p predictor.Predictor, src trace.Source, opts Options) (Result, error) 
 		if !ok {
 			break
 		}
+		records++
 		tr := trackers.lookup(b.Thread)
 		if tr == nil {
 			var err error
 			tr, err = trackers.create(b.Thread, opts, onBlock)
 			if err != nil {
-				return res, err
+				return res, nil, err
 			}
 		}
 		info, isCond = tr.Process(b)
@@ -328,6 +369,18 @@ func Run(p predictor.Predictor, src trace.Source, opts Options) (Result, error) 
 			p.Update(&info, b.Taken)
 		}
 	}
+	// Capture the checkpoint BEFORE the ring drains and before the warmup
+	// clamp: the pending updates belong to the continuation (a resumed run
+	// retires them through its own stream), and the resumed warmup gate
+	// needs the raw branch count. A source failure voids the capture below.
+	var ck *Checkpoint
+	if doCapture {
+		var err error
+		ck, err = capture(p, opts, &trackers, ring, head, count, records, res)
+		if err != nil {
+			return res, nil, err
+		}
+	}
 	for count > 0 {
 		apply(&ring[head])
 		head++
@@ -348,12 +401,12 @@ func Run(p predictor.Predictor, src trace.Source, opts Options) (Result, error) 
 		res.Stats = &cs
 	}
 	if err := trace.SourceErr(src); err != nil {
-		return res, fmt.Errorf("sim: source failed after %d branches: %w", res.Branches, err)
+		return res, nil, fmt.Errorf("sim: source failed after %d branches: %w", res.Branches, err)
 	}
 	if err := res.Validate(); err != nil {
-		return res, err
+		return res, nil, err
 	}
-	return res, nil
+	return res, ck, nil
 }
 
 // RunBenchmark builds the named synthetic benchmark with instrBudget

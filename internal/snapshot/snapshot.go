@@ -1,0 +1,285 @@
+// Package snapshot is the wire codec behind every serialized piece of
+// simulation state in the repository: predictor table snapshots
+// (predictor.Snapshotter), front-end tracker state, and whole-run
+// checkpoints (sim.Checkpoint). One codec, one integrity story.
+//
+// Container layout (little-endian):
+//
+//	magic   "EV8S"            4 bytes
+//	version u8                1 byte (currently 1)
+//	label   u32 len + bytes   what the payload is ("gshare/v1", ...)
+//	payload codec fields
+//	crc     CRC32C            4 bytes, over everything before it
+//
+// Integrity contract, mirroring trace format v2 (docs/RELIABILITY.md):
+// every decode failure — truncation, any single-bit flip (CRC32 detects
+// all of them), a bad magic/version, an over-long length field — surfaces
+// as a typed error wrapping ErrBadSnapshot, never a panic and never a
+// silently-wrong value. The fault-injection suite and FuzzSnapshotDecode
+// enumerate exactly these mutations.
+//
+// Fields are fixed-width (u64) rather than varint: snapshots are bulk
+// table state where varints save little, and fixed layout keeps the
+// fuzzer's job honest (no redundant encodings of the same value).
+package snapshot
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// Version is the current wire-format version.
+const Version = 1
+
+// magic identifies a snapshot container.
+var magic = [4]byte{'E', 'V', '8', 'S'}
+
+// ErrBadSnapshot is the root of every decode failure in this package;
+// errors.Is(err, ErrBadSnapshot) holds for all of them.
+var ErrBadSnapshot = errors.New("snapshot: malformed snapshot")
+
+// ErrChecksum wraps ErrBadSnapshot for CRC mismatches specifically, so
+// callers can distinguish corruption from structural misuse.
+var ErrChecksum = fmt.Errorf("%w: checksum mismatch", ErrBadSnapshot)
+
+// castagnoli is the CRC32C table (same polynomial family the trace v2
+// container uses; hardware-accelerated on both amd64 and arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Encoder builds a snapshot container. The zero value is not usable;
+// construct with NewEncoder.
+type Encoder struct {
+	buf []byte
+}
+
+// NewEncoder starts a container labeled label (the payload's type/version
+// fingerprint, validated on decode).
+func NewEncoder(label string) *Encoder {
+	e := &Encoder{buf: make([]byte, 0, 64)}
+	e.buf = append(e.buf, magic[:]...)
+	e.buf = append(e.buf, Version)
+	e.String(label)
+	return e
+}
+
+// Uint64 appends v as 8 little-endian bytes.
+func (e *Encoder) Uint64(v uint64) {
+	e.buf = binary.LittleEndian.AppendUint64(e.buf, v)
+}
+
+// Int64 appends v (two's complement in 8 bytes).
+func (e *Encoder) Int64(v int64) { e.Uint64(uint64(v)) }
+
+// Bool appends v as one byte (0 or 1).
+func (e *Encoder) Bool(v bool) {
+	if v {
+		e.buf = append(e.buf, 1)
+	} else {
+		e.buf = append(e.buf, 0)
+	}
+}
+
+// Byte appends one raw byte.
+func (e *Encoder) Byte(v byte) { e.buf = append(e.buf, v) }
+
+// Bytes appends a u32 length prefix and the raw bytes.
+func (e *Encoder) Bytes(b []byte) {
+	e.buf = binary.LittleEndian.AppendUint32(e.buf, uint32(len(b)))
+	e.buf = append(e.buf, b...)
+}
+
+// String appends s as a length-prefixed byte string.
+func (e *Encoder) String(s string) {
+	e.buf = binary.LittleEndian.AppendUint32(e.buf, uint32(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+// Words appends a u32 count prefix and the raw 8-byte words.
+func (e *Encoder) Words(ws []uint64) {
+	e.buf = binary.LittleEndian.AppendUint32(e.buf, uint32(len(ws)))
+	for _, w := range ws {
+		e.Uint64(w)
+	}
+}
+
+// Finish seals the container: the CRC32C of everything written so far is
+// appended and the complete snapshot returned. The Encoder must not be
+// used afterwards.
+func (e *Encoder) Finish() []byte {
+	sum := crc32.Checksum(e.buf, castagnoli)
+	e.buf = binary.LittleEndian.AppendUint32(e.buf, sum)
+	return e.buf
+}
+
+// Decoder reads a snapshot container. Construct with NewDecoder, which
+// verifies magic, version, label and checksum up front; subsequent field
+// reads can then only fail on structural mismatches (reading past the
+// payload), which still return typed errors rather than panicking.
+type Decoder struct {
+	buf   []byte
+	off   int
+	end   int // payload end (exclusive of the trailing CRC)
+	label string
+}
+
+// NewDecoder validates the container framing and checksum of data and
+// positions a decoder at the first payload field. wantLabel must match
+// the label the encoder was constructed with; pass "" to accept any
+// label (Label reports it).
+func NewDecoder(data []byte, wantLabel string) (*Decoder, error) {
+	// Frame: magic(4) + version(1) + label len(4) + crc(4) minimum.
+	if len(data) < 13 {
+		return nil, fmt.Errorf("%w: %d bytes is shorter than the minimal container", ErrBadSnapshot, len(data))
+	}
+	if [4]byte(data[:4]) != magic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrBadSnapshot, data[:4])
+	}
+	if data[4] != Version {
+		return nil, fmt.Errorf("%w: unsupported version %d (want %d)", ErrBadSnapshot, data[4], Version)
+	}
+	body, crcBytes := data[:len(data)-4], data[len(data)-4:]
+	if crc32.Checksum(body, castagnoli) != binary.LittleEndian.Uint32(crcBytes) {
+		return nil, ErrChecksum
+	}
+	d := &Decoder{buf: data, off: 5, end: len(data) - 4}
+	label, err := d.String()
+	if err != nil {
+		return nil, err
+	}
+	if wantLabel != "" && label != wantLabel {
+		return nil, fmt.Errorf("%w: label %q, want %q", ErrBadSnapshot, label, wantLabel)
+	}
+	d.label = label
+	return d, nil
+}
+
+// Label returns the container's label.
+func (d *Decoder) Label() string { return d.label }
+
+// Remaining returns how many payload bytes are left to read.
+func (d *Decoder) Remaining() int { return d.end - d.off }
+
+// Finish asserts the payload was fully consumed — trailing garbage in an
+// otherwise CRC-valid container is a structural error, not padding.
+func (d *Decoder) Finish() error {
+	if d.off != d.end {
+		return fmt.Errorf("%w: %d unread payload bytes", ErrBadSnapshot, d.end-d.off)
+	}
+	return nil
+}
+
+// need checks n more bytes are available.
+func (d *Decoder) need(n int) error {
+	if d.end-d.off < n {
+		return fmt.Errorf("%w: truncated payload (need %d bytes, have %d)", ErrBadSnapshot, n, d.end-d.off)
+	}
+	return nil
+}
+
+// Uint64 reads an 8-byte little-endian word.
+func (d *Decoder) Uint64() (uint64, error) {
+	if err := d.need(8); err != nil {
+		return 0, err
+	}
+	v := binary.LittleEndian.Uint64(d.buf[d.off:])
+	d.off += 8
+	return v, nil
+}
+
+// Int64 reads a two's-complement 8-byte integer.
+func (d *Decoder) Int64() (int64, error) {
+	v, err := d.Uint64()
+	return int64(v), err
+}
+
+// Bool reads one byte, requiring it to be exactly 0 or 1 (any other value
+// means corruption the CRC did not cover — impossible for bit flips, but
+// cheap to require).
+func (d *Decoder) Bool() (bool, error) {
+	if err := d.need(1); err != nil {
+		return false, err
+	}
+	b := d.buf[d.off]
+	d.off++
+	if b > 1 {
+		return false, fmt.Errorf("%w: boolean byte %#x", ErrBadSnapshot, b)
+	}
+	return b == 1, nil
+}
+
+// Byte reads one raw byte.
+func (d *Decoder) Byte() (byte, error) {
+	if err := d.need(1); err != nil {
+		return 0, err
+	}
+	b := d.buf[d.off]
+	d.off++
+	return b, nil
+}
+
+// length reads a u32 length prefix and validates it against the remaining
+// payload scaled by elemSize, so a corrupted length can never drive a
+// huge allocation or a bogus slice.
+func (d *Decoder) length(elemSize int) (int, error) {
+	if err := d.need(4); err != nil {
+		return 0, err
+	}
+	n := int(binary.LittleEndian.Uint32(d.buf[d.off:]))
+	d.off += 4
+	if n < 0 || n*elemSize > d.end-d.off {
+		return 0, fmt.Errorf("%w: length %d exceeds remaining payload %d", ErrBadSnapshot, n, d.end-d.off)
+	}
+	return n, nil
+}
+
+// Bytes reads a length-prefixed byte string (an owned copy).
+func (d *Decoder) Bytes() ([]byte, error) {
+	n, err := d.length(1)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, n)
+	copy(out, d.buf[d.off:d.off+n])
+	d.off += n
+	return out, nil
+}
+
+// String reads a length-prefixed string.
+func (d *Decoder) String() (string, error) {
+	n, err := d.length(1)
+	if err != nil {
+		return "", err
+	}
+	s := string(d.buf[d.off : d.off+n])
+	d.off += n
+	return s, nil
+}
+
+// Words reads a count-prefixed word slice.
+func (d *Decoder) Words() ([]uint64, error) {
+	n, err := d.length(8)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint64(d.buf[d.off:])
+		d.off += 8
+	}
+	return out, nil
+}
+
+// WordsExact reads a count-prefixed word slice, requiring exactly want
+// entries — the shape check every fixed-size table restore needs.
+func (d *Decoder) WordsExact(want int) ([]uint64, error) {
+	ws, err := d.Words()
+	if err != nil {
+		return nil, err
+	}
+	if len(ws) != want {
+		return nil, fmt.Errorf("%w: %d words, want %d", ErrBadSnapshot, len(ws), want)
+	}
+	return ws, nil
+}

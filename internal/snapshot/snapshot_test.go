@@ -1,0 +1,118 @@
+package snapshot
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// TestRoundTrip pins encode → decode identity for every field type, in
+// order, with a clean Finish.
+func TestRoundTrip(t *testing.T) {
+	e := NewEncoder("test/v1")
+	e.Uint64(0)
+	e.Uint64(^uint64(0))
+	e.Int64(-42)
+	e.Bool(true)
+	e.Bool(false)
+	e.Byte(0xA5)
+	e.Bytes([]byte{1, 2, 3})
+	e.Bytes(nil)
+	e.String("hello")
+	e.Words([]uint64{7, 8, 9})
+	data := e.Finish()
+
+	d, err := NewDecoder(data, "test/v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Label() != "test/v1" {
+		t.Errorf("label %q", d.Label())
+	}
+	for _, want := range []uint64{0, ^uint64(0)} {
+		if got, err := d.Uint64(); err != nil || got != want {
+			t.Fatalf("Uint64 = %d, %v (want %d)", got, err, want)
+		}
+	}
+	if got, err := d.Int64(); err != nil || got != -42 {
+		t.Fatalf("Int64 = %d, %v", got, err)
+	}
+	if got, err := d.Bool(); err != nil || !got {
+		t.Fatalf("Bool = %v, %v", got, err)
+	}
+	if got, err := d.Bool(); err != nil || got {
+		t.Fatalf("Bool = %v, %v", got, err)
+	}
+	if got, err := d.Byte(); err != nil || got != 0xA5 {
+		t.Fatalf("Byte = %#x, %v", got, err)
+	}
+	if got, err := d.Bytes(); err != nil || !bytes.Equal(got, []byte{1, 2, 3}) {
+		t.Fatalf("Bytes = %v, %v", got, err)
+	}
+	if got, err := d.Bytes(); err != nil || len(got) != 0 {
+		t.Fatalf("empty Bytes = %v, %v", got, err)
+	}
+	if got, err := d.String(); err != nil || got != "hello" {
+		t.Fatalf("String = %q, %v", got, err)
+	}
+	ws, err := d.WordsExact(3)
+	if err != nil || ws[0] != 7 || ws[2] != 9 {
+		t.Fatalf("WordsExact = %v, %v", ws, err)
+	}
+	if err := d.Finish(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTypedRefusals pins the decoder's typed-error surface: label
+// mismatch, leftover payload, short reads, malformed booleans, and
+// word-count mismatches all wrap ErrBadSnapshot.
+func TestTypedRefusals(t *testing.T) {
+	e := NewEncoder("a/v1")
+	e.Uint64(5)
+	e.Words([]uint64{1, 2})
+	data := e.Finish()
+
+	if _, err := NewDecoder(data, "b/v1"); !errors.Is(err, ErrBadSnapshot) {
+		t.Errorf("label mismatch: %v", err)
+	}
+	d, err := NewDecoder(data, "")
+	if err != nil {
+		t.Fatalf("wildcard label refused: %v", err)
+	}
+	if err := d.Finish(); !errors.Is(err, ErrBadSnapshot) {
+		t.Errorf("Finish with leftover payload: %v", err)
+	}
+	if _, err := d.Uint64(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.WordsExact(3); !errors.Is(err, ErrBadSnapshot) {
+		t.Errorf("word-count mismatch: %v", err)
+	}
+	if _, err := d.Uint64(); !errors.Is(err, ErrBadSnapshot) {
+		t.Errorf("read past payload: %v", err)
+	}
+
+	be := NewEncoder("bool/v1")
+	be.Byte(2) // not a legal boolean
+	bd, err := NewDecoder(be.Finish(), "bool/v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bd.Bool(); !errors.Is(err, ErrBadSnapshot) {
+		t.Errorf("malformed boolean: %v", err)
+	}
+}
+
+// TestChecksumIsChecked flips one payload bit and expects ErrChecksum
+// (which itself wraps ErrBadSnapshot) before any field is readable.
+func TestChecksumIsChecked(t *testing.T) {
+	e := NewEncoder("crc/v1")
+	e.Uint64(12345)
+	data := e.Finish()
+	data[len(data)-6] ^= 0x40
+	_, err := NewDecoder(data, "crc/v1")
+	if !errors.Is(err, ErrChecksum) || !errors.Is(err, ErrBadSnapshot) {
+		t.Fatalf("corrupted payload: %v", err)
+	}
+}

@@ -41,6 +41,16 @@ type Point struct {
 // processed once and shared by all K family members — with byte-identical
 // points.
 func Run(factory Factory, xs []int, profs []workload.Profile, instrBudget int64, opts sim.Options) ([]Point, error) {
+	return RunPool(factory, xs, profs, instrBudget, opts,
+		sim.PoolOptions{Workers: opts.Workers, Ensemble: opts.Ensemble})
+}
+
+// RunPool is Run with an explicit pool configuration, which is how a
+// caller attaches a result cache (pool.Cache), progress reporting, or a
+// diagnostics log to the sweep. cmd/ev8sweep's -cache flag routes here: a
+// repeated sweep whose cells are all cached re-runs with zero simulation
+// work.
+func RunPool(factory Factory, xs []int, profs []workload.Profile, instrBudget int64, opts sim.Options, pool sim.PoolOptions) ([]Point, error) {
 	if len(xs) == 0 {
 		return nil, fmt.Errorf("sweep: no parameter values")
 	}
@@ -57,8 +67,7 @@ func Run(factory Factory, xs []int, profs []workload.Profile, instrBudget int64,
 			cells = append(cells, sim.Cell{Factory: mk, Profile: prof, Opts: opts})
 		}
 	}
-	rs, err := sim.RunCells(context.Background(), cells, instrBudget,
-		sim.PoolOptions{Workers: opts.Workers, Ensemble: opts.Ensemble})
+	rs, err := sim.RunCells(context.Background(), cells, instrBudget, pool)
 	if err != nil {
 		return nil, fmt.Errorf("sweep: %w", err)
 	}
