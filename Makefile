@@ -4,7 +4,7 @@
 GO ?= go
 STATICCHECK_VERSION ?= 2025.1.1
 
-.PHONY: all build vet staticcheck test race bench bench-baseline bench-ensemble check report fuzz faultinject resume examples clean
+.PHONY: all build vet staticcheck test race bench bench-baseline bench-ensemble bench-kernel check report fuzz faultinject resume examples clean
 
 all: build vet test
 
@@ -15,16 +15,18 @@ all: build vet test
 # ensemble results must be byte-identical to per-cell runs), the
 # resume-equivalence and cache-correctness suites (checkpointed-and-
 # resumed runs and cache hits must be byte-identical to straight
-# recomputation), a snapshot-decode fuzz smoke, and benchmark smokes so
-# neither the testing.B harness nor the per-predictor microbenchmarks
-# can rot.
+# recomputation), the batch-kernel differential suite (runs routed through
+# LookupBatch/UpdateBatch must be byte-identical to the scalar fused
+# path), a snapshot-decode fuzz smoke, and benchmark smokes so neither
+# the testing.B harness nor the per-predictor microbenchmarks can rot.
 check:
 	$(GO) vet ./...
 	$(MAKE) staticcheck
 	$(GO) build ./...
 	$(GO) test -race ./...
-	$(GO) test -run 'TestHotPathZeroAllocs|TestDelayedUpdateZeroAllocsSteadyState|TestEnsembleZeroAllocsSteadyState' -count=1 .
+	$(GO) test -run 'TestHotPathZeroAllocs|TestDelayedUpdateZeroAllocsSteadyState|TestEnsembleZeroAllocsSteadyState|TestBatchZeroAllocsSteadyState|TestBatchKernelZeroAllocs' -count=1 .
 	$(GO) test -run 'TestEnsemble' -count=1 . ./internal/sim/
+	$(GO) test -run 'TestBatch' -count=1 . ./internal/core/ ./internal/predictor/... ./internal/trace/
 	$(GO) test -run 'TestFault' -count=1 ./internal/trace/faultinject/
 	$(GO) test -fuzz FuzzReader -fuzztime 30s -run '^$$' ./internal/trace/
 	$(GO) test -run 'TestResume|TestWarmEnsemble' -count=1 .
@@ -78,6 +80,12 @@ bench-baseline:
 # docs/PERFORMANCE.md, "Ensemble execution").
 bench-ensemble:
 	$(GO) run ./cmd/benchensemble -o BENCH_ensemble.json
+
+# Refresh the batch-kernel snapshot: scalar vs batch ns/branch for every
+# BatchPredictor roster entry, with speedups against the committed
+# BENCH_baseline.json reference (see docs/PERFORMANCE.md, "Batch kernel").
+bench-kernel:
+	$(GO) run ./cmd/benchkernel -o BENCH_kernel.json
 
 # Regenerate every table and figure of the paper (10M instructions per
 # benchmark; the paper's full scale is -instructions 100000000).

@@ -1,0 +1,209 @@
+// Command benchkernel measures the batch kernel against the scalar fused
+// path and writes the machine-readable snapshot BENCH_kernel.json.
+//
+// Usage:
+//
+//	benchkernel [-o BENCH_kernel.json] [-baseline BENCH_baseline.json]
+//	            [-branches N] [-events N]
+//
+// For every Batch-marked entry of the internal/hotbench roster (the
+// predictors implementing predictor.BatchPredictor) two numbers are
+// recorded over the same prerecorded gcc events:
+//
+//   - scalar: the per-branch Lookup/UpdateWith replay, the path
+//     BENCH_baseline.json's predictors section measures;
+//
+//   - batch: the staged LookupBatch/UpdateBatch replay over SoA chunks
+//     (docs/PERFORMANCE.md, "Batch kernel"), the path sim.Run takes for
+//     eligible runs.
+//
+// Each entry reports both ns/branch figures, the batch-vs-scalar speedup
+// measured in-process, and — when -baseline names a readable snapshot
+// with a matching entry — the speedup against that committed reference,
+// the acceptance number for the sub-50 ns/branch roadmap item.
+//
+// `make bench-kernel` regenerates the committed snapshot.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"ev8pred/internal/hotbench"
+	"ev8pred/internal/predictor"
+)
+
+// metric is one measured path of one configuration.
+type metric struct {
+	NsPerBranch     float64 `json:"ns_per_branch"`
+	BranchesPerSec  float64 `json:"branches_per_sec"`
+	AllocsPerBranch float64 `json:"allocs_per_branch"`
+}
+
+// entry pairs the two paths for one roster configuration.
+type entry struct {
+	Scalar metric `json:"scalar"`
+	Batch  metric `json:"batch"`
+	// SpeedupBatchVsScalar compares the two paths measured by this run.
+	SpeedupBatchVsScalar float64 `json:"speedup_batch_vs_scalar"`
+	// SpeedupVsBaseline compares the batch path against the committed
+	// BENCH_baseline.json scalar reference for the same predictor;
+	// omitted when the baseline has no matching entry.
+	SpeedupVsBaseline float64 `json:"speedup_vs_baseline,omitempty"`
+	// BaselineNsPerBranch echoes the reference number the speedup is
+	// against, so the snapshot is self-contained.
+	BaselineNsPerBranch float64 `json:"baseline_ns_per_branch,omitempty"`
+}
+
+// snapshot is the BENCH_kernel.json document.
+type snapshot struct {
+	Schema          int              `json:"schema"`
+	GoVersion       string           `json:"go_version"`
+	GOOS            string           `json:"goos"`
+	GOARCH          string           `json:"goarch"`
+	BranchesPerCase int64            `json:"branches_per_case"`
+	BaselineFile    string           `json:"baseline_file,omitempty"`
+	Predictors      map[string]entry `json:"predictors"`
+}
+
+// baselineDoc is the slice of BENCH_baseline.json this tool reads.
+type baselineDoc struct {
+	Predictors map[string]struct {
+		NsPerBranch float64 `json:"ns_per_branch"`
+	} `json:"predictors"`
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchkernel:", err)
+		os.Exit(1)
+	}
+}
+
+// run executes the tool; the report goes to out unless -o names a file.
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("benchkernel", flag.ContinueOnError)
+	var (
+		outPath  = fs.String("o", "", "write the JSON snapshot to this file instead of stdout")
+		baseline = fs.String("baseline", "BENCH_baseline.json", "committed baseline snapshot to compute speedups against (empty to skip)")
+		branches = fs.Int64("branches", 1_000_000, "branches per measured configuration and path")
+		events   = fs.Int("events", 4096, "prerecorded events in the replay window")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *branches <= 0 || *events <= 0 {
+		return fmt.Errorf("-branches and -events must be positive")
+	}
+
+	var ref baselineDoc
+	refName := ""
+	if *baseline != "" {
+		data, err := os.ReadFile(*baseline)
+		switch {
+		case err == nil:
+			if err := json.Unmarshal(data, &ref); err != nil {
+				return fmt.Errorf("parsing %s: %w", *baseline, err)
+			}
+			refName = *baseline
+		case os.IsNotExist(err):
+			fmt.Fprintf(os.Stderr, "benchkernel: %s not found, skipping baseline speedups\n", *baseline)
+		default:
+			return err
+		}
+	}
+
+	doc := snapshot{
+		Schema:          1,
+		GoVersion:       runtime.Version(),
+		GOOS:            runtime.GOOS,
+		GOARCH:          runtime.GOARCH,
+		BranchesPerCase: *branches,
+		BaselineFile:    refName,
+		Predictors:      map[string]entry{},
+	}
+
+	for _, c := range hotbench.Cases() {
+		if !c.Batch {
+			continue
+		}
+		evs, err := hotbench.Collect(c.Mode, "gcc", *events)
+		if err != nil {
+			return err
+		}
+
+		ps, err := c.New()
+		if err != nil {
+			return err
+		}
+		scalar := measure(*branches, func(n int64) {
+			for done := int64(0); done < n; done += int64(len(evs)) {
+				hotbench.Replay(ps, evs)
+			}
+		})
+
+		pb, err := c.New()
+		if err != nil {
+			return err
+		}
+		bp, ok := pb.(predictor.BatchPredictor)
+		if !ok {
+			return fmt.Errorf("%s is Batch-marked but does not implement predictor.BatchPredictor", c.Name)
+		}
+		staged := hotbench.NewBatchRun(evs, 0)
+		batch := measure(*branches, func(n int64) {
+			for done := int64(0); done < n; done += int64(staged.Len()) {
+				staged.Replay(bp)
+			}
+		})
+
+		e := entry{
+			Scalar:               scalar,
+			Batch:                batch,
+			SpeedupBatchVsScalar: scalar.NsPerBranch / batch.NsPerBranch,
+		}
+		if r, ok := ref.Predictors[c.Name]; ok && r.NsPerBranch > 0 {
+			e.BaselineNsPerBranch = r.NsPerBranch
+			e.SpeedupVsBaseline = r.NsPerBranch / batch.NsPerBranch
+		}
+		doc.Predictors[c.Name] = e
+	}
+
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if *outPath != "" {
+		return os.WriteFile(*outPath, data, 0o644)
+	}
+	_, err = out.Write(data)
+	return err
+}
+
+// measure times fn(branches) and converts to per-branch metrics; the
+// allocation count comes from the runtime's exact mallocs counter.
+func measure(branches int64, fn func(n int64)) metric {
+	warm := branches
+	if warm > 1<<14 {
+		warm = 1 << 14
+	}
+	fn(warm) // warm caches and any lazy initialization
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	fn(branches)
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	ns := float64(elapsed.Nanoseconds()) / float64(branches)
+	return metric{
+		NsPerBranch:     ns,
+		BranchesPerSec:  1e9 / ns,
+		AllocsPerBranch: float64(after.Mallocs-before.Mallocs) / float64(branches),
+	}
+}

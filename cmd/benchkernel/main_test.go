@@ -1,0 +1,115 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRunWritesKernelSnapshot runs a scaled-down measurement and validates
+// the document shape: every Batch-marked roster entry present with sane
+// positive rates on both paths, allocation-free replay loops, and baseline
+// speedups resolved from a synthetic reference file.
+func TestRunWritesKernelSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	ref := filepath.Join(dir, "baseline.json")
+	// A synthetic baseline with a known scalar reference for one entry.
+	if err := os.WriteFile(ref, []byte(`{"predictors":{"2bcg-512K":{"ns_per_branch":1000}}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "kernel.json")
+	var sb strings.Builder
+	if err := run([]string{"-o", path, "-baseline", ref, "-branches", "30000", "-events", "1024"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if sb.Len() != 0 {
+		t.Error("-o should redirect output away from stdout")
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc snapshot
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if doc.Schema != 1 {
+		t.Errorf("schema = %d, want 1", doc.Schema)
+	}
+	for _, name := range []string{"2bcg-512K", "2bcg-ev8size", "egskew", "gshare-2M"} {
+		e, ok := doc.Predictors[name]
+		if !ok {
+			t.Errorf("missing predictor %q", name)
+			continue
+		}
+		if e.Scalar.NsPerBranch <= 0 || e.Batch.NsPerBranch <= 0 || e.SpeedupBatchVsScalar <= 0 {
+			t.Errorf("%s: non-positive rate: %+v", name, e)
+		}
+		// Both replay loops must be allocation-free; the tolerance absorbs
+		// stray runtime allocations on a small run.
+		if e.Scalar.AllocsPerBranch > 0.01 || e.Batch.AllocsPerBranch > 0.01 {
+			t.Errorf("%s: allocating replay path: %+v", name, e)
+		}
+	}
+	e := doc.Predictors["2bcg-512K"]
+	if e.BaselineNsPerBranch != 1000 {
+		t.Errorf("baseline reference not echoed: %+v", e)
+	}
+	if e.SpeedupVsBaseline != 1000/e.Batch.NsPerBranch {
+		t.Errorf("baseline speedup %v inconsistent with batch %v ns/branch",
+			e.SpeedupVsBaseline, e.Batch.NsPerBranch)
+	}
+	// Non-batch roster entries must not appear.
+	if _, ok := doc.Predictors["ev8"]; ok {
+		t.Error("non-batch predictor measured")
+	}
+}
+
+// TestRunMissingBaseline: an absent baseline file is a warning, not an
+// error, and the speedup fields are omitted.
+func TestRunMissingBaseline(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "kernel.json")
+	var sb strings.Builder
+	if err := run([]string{"-o", path, "-baseline", filepath.Join(t.TempDir(), "nope.json"),
+		"-branches", "5000", "-events", "512"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc snapshot
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.BaselineFile != "" {
+		t.Errorf("baseline_file = %q, want empty", doc.BaselineFile)
+	}
+	for name, e := range doc.Predictors {
+		if e.SpeedupVsBaseline != 0 || e.BaselineNsPerBranch != 0 {
+			t.Errorf("%s: baseline speedup present without a baseline: %+v", name, e)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-branches", "0"}, &sb); err == nil {
+		t.Error("zero -branches accepted")
+	}
+	if err := run([]string{"-events", "-1"}, &sb); err == nil {
+		t.Error("negative -events accepted")
+	}
+	if err := run([]string{"-badflag"}, &sb); err == nil {
+		t.Error("bad flag accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-baseline", bad}, &sb); err == nil {
+		t.Error("corrupt baseline accepted")
+	}
+}

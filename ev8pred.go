@@ -65,6 +65,15 @@ type (
 	// the simulator uses NextBatch when available to amortize per-record
 	// interface-call overhead.
 	BatchSource = trace.BatchSource
+	// BatchPredictor is a FusedPredictor that can run whole record chunks
+	// through each pipeline stage (docs/PERFORMANCE.md, "Batch kernel");
+	// 2Bc-gskew, e-gskew and gshare implement it.
+	BatchPredictor = predictor.BatchPredictor
+	// FusedPredictor is a Predictor with the single-lookup fast path
+	// (Lookup/UpdateWith) the simulator prefers when available.
+	FusedPredictor = predictor.FusedPredictor
+	// BatchMode selects whether eligible runs use the batch kernel.
+	BatchMode = sim.BatchMode
 	// Profile parameterizes a synthetic benchmark workload.
 	Profile = workload.Profile
 	// CoreConfig parameterizes a 2Bc-gskew predictor.
@@ -162,6 +171,15 @@ const (
 	EnsembleOn = sim.EnsembleOn
 	// EnsembleOff always simulates cells independently.
 	EnsembleOff = sim.EnsembleOff
+)
+
+// Batch scheduling modes (see Options.Batch). Results are byte-identical
+// in both modes; the knob exists for differential testing and debugging.
+const (
+	// BatchAuto routes eligible runs through the batch kernel (default).
+	BatchAuto = sim.BatchAuto
+	// BatchOff forces the scalar fused path.
+	BatchOff = sim.BatchOff
 )
 
 // RunEnsemble simulates every factory-built predictor over ONE shared

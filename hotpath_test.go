@@ -105,6 +105,42 @@ func TestDelayedUpdateZeroAllocsSteadyState(t *testing.T) {
 	}
 }
 
+// TestBatchKernelZeroAllocs gates the kernels themselves: a staged-replay
+// pass through LookupBatch/UpdateBatch must not allocate for any
+// Batch-marked roster entry.
+func TestBatchKernelZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation accounting is not meaningful under the race detector")
+	}
+	for _, c := range hotbench.Cases() {
+		if !c.Batch {
+			continue
+		}
+		events, err := hotbench.Collect(c.Mode, "gcc", hotEvents)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Run(c.Name, func(t *testing.T) {
+			p, err := c.New()
+			if err != nil {
+				t.Fatal(err)
+			}
+			bp, ok := p.(predictor.BatchPredictor)
+			if !ok {
+				t.Fatalf("%s: Batch-marked predictor does not implement BatchPredictor", c.Name)
+			}
+			run := hotbench.NewBatchRun(events, 0)
+			run.Replay(bp) // warm once before counting
+			if allocs := testing.AllocsPerRun(3, func() {
+				run.Replay(bp)
+			}); allocs != 0 {
+				t.Errorf("%s batch kernels: %.1f allocs per %d branches, want 0",
+					c.Name, allocs, run.Len())
+			}
+		})
+	}
+}
+
 // BenchmarkPredictUpdate measures raw per-branch predictor cost: one
 // sub-benchmark per roster entry, replaying prerecorded gcc events through
 // the same code path sim.Run uses (fused when available). ns/op is per
@@ -128,6 +164,38 @@ func BenchmarkPredictUpdate(b *testing.B) {
 					n = rem
 				}
 				hotbench.Replay(p, events[:n])
+			}
+		})
+	}
+}
+
+// BenchmarkPredictUpdateBatch is the batch-kernel twin: the same events
+// pre-staged into SoA chunks, replayed through LookupBatch/UpdateBatch.
+// ns/op is per branch; the ratio to BenchmarkPredictUpdate's matching
+// entry is the kernel speedup cmd/benchkernel reports.
+func BenchmarkPredictUpdateBatch(b *testing.B) {
+	for _, c := range hotbench.Cases() {
+		if !c.Batch {
+			continue
+		}
+		events, err := hotbench.Collect(c.Mode, "gcc", hotEvents)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(c.Name, func(b *testing.B) {
+			p, err := c.New()
+			if err != nil {
+				b.Fatal(err)
+			}
+			bp, ok := p.(predictor.BatchPredictor)
+			if !ok {
+				b.Fatalf("%s does not implement BatchPredictor", c.Name)
+			}
+			run := hotbench.NewBatchRun(events, 0)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for done := 0; done < b.N; done += run.Len() {
+				run.Replay(bp)
 			}
 		})
 	}

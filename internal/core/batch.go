@@ -1,0 +1,108 @@
+// Data-oriented batch kernel for 2Bc-gskew (predictor.BatchPredictor).
+//
+// The chunked path splits the per-branch work at the only boundary the
+// scheme allows. Index computation is a pure function of the
+// information vector, so LookupBatch stages it for the whole chunk as
+// straight-line arithmetic over the compiled skewing functions — no
+// counter state touched, no per-branch interface dispatch. Everything
+// downstream of the indices is state-dependent: a hot loop body recurs
+// many times inside one 1024-record chunk and aliases with its own
+// earlier occurrences, so the read → combine → train resolve must see
+// the counters exactly as the scalar Lookup/UpdateWith interleaving
+// would. UpdateBatch therefore walks the staged chunk in order, but with
+// the scalar path's per-branch costs stripped: one packed-word read per
+// bank, a bit-parallel majority-vote and meta-arbitration combine (no
+// if ladders), and the shared applyUpdate write path — which most
+// branches never reach a write through, thanks to the §4.2 partial
+// update policy (Rationale 1: all-agree-correct means no writes at all).
+package core
+
+import (
+	"ev8pred/internal/bitutil"
+	"ev8pred/internal/history"
+	"ev8pred/internal/predictor"
+)
+
+// LookupBatch implements predictor.BatchPredictor: the pure index stage,
+// staged over the whole chunk. Only snaps[i].Idx is filled.
+func (p *Predictor) LookupBatch(infos []history.Info, snaps []predictor.Snapshot) {
+	if p.ip == nil {
+		// Caller-supplied IndexSet: the index function is opaque, so the
+		// stage degrades to per-branch calls — still state-independent,
+		// still correct.
+		for i := range infos {
+			snaps[i].Idx = p.cfg.Indexes(&infos[i])
+		}
+		return
+	}
+	ip := p.ip
+	for i := range infos {
+		info := &infos[i]
+		var pathHash uint64
+		if ip.usePath {
+			pathHash = bitutil.Field(info.Path[0], 5, 4) ^
+				bitutil.Field(info.Path[1], 5, 4)<<2 ^
+				bitutil.Field(info.Path[2], 5, 4)<<4
+		}
+		idx := &snaps[i].Idx
+		idx[BIM] = predictor.PCBits(info.PC, ip.bits[BIM])
+		if ip.histLen[BIM] > 0 {
+			idx[BIM] ^= bitutil.FoldXOR(info.Hist, ip.histLen[BIM], ip.bits[BIM])
+		}
+		if ip.usePath {
+			idx[BIM] ^= pathHash & ip.bimMask
+		}
+		for b := G0; b <= Meta; b++ {
+			v := predictor.PCBits(info.PC, ip.bits[b]) |
+				predictor.HistMask(info.Hist, ip.histLen[b])<<uint(ip.bits[b])
+			v ^= pathHash << uint(ip.bits[b]/2)
+			idx[b] = ip.fns[b].Index(v, ip.bits[b]+ip.histLen[b])
+		}
+	}
+}
+
+// UpdateBatch implements predictor.BatchPredictor: the state-dependent
+// resolve, branch by branch in chunk order against live counter state.
+// The four direction bits are read as 0/1 words straight from the packed
+// prediction arrays and combined with bit-parallel logic:
+//
+//	maj   = (bim & g0) | (bim & g1) | (g0 & g1)   // e-gskew majority
+//	final = (meta & maj) | (^meta & bim)          // meta arbitration
+//
+// then the branch trains through the same applyUpdate /
+// updateAtInstrumented write path as the scalar UpdateWith — both update
+// policies, identical attribution. At update delay 0 the scalar path's
+// update-time re-read equals its lookup-time read (nothing trains
+// between the two for the same branch), so one read serves both.
+func (p *Predictor) UpdateBatch(snaps []predictor.Snapshot, taken, finals []uint64) {
+	bim, g0b, g1b, meta := p.banks[BIM], p.banks[G0], p.banks[G1], p.banks[Meta]
+	var fw uint64
+	wi := 0
+	for i := range snaps {
+		idx := &snaps[i].Idx
+		pb := bim.PredBit(idx[BIM])
+		p0 := g0b.PredBit(idx[G0])
+		p1 := g1b.PredBit(idx[G1])
+		pm := meta.PredBit(idx[Meta])
+		maj := pb&p0 | pb&p1 | p0&p1
+		fin := pm&maj | (pm^1)&pb
+		lane := uint(i) & 63
+		fw |= fin << lane
+		tk := taken[i>>6]>>lane&1 == 1
+		if p.st != nil {
+			p.updateAtInstrumented(*idx, pb == 1, p0 == 1, p1 == 1, pm == 1, fin == 1, maj == 1, tk)
+		} else {
+			p.applyUpdate(*idx, pb == 1, p0 == 1, p1 == 1, pm == 1, fin == 1, maj == 1, tk)
+		}
+		if lane == 63 {
+			finals[wi] = fw
+			fw = 0
+			wi++
+		}
+	}
+	if len(snaps)&63 != 0 {
+		finals[wi] = fw
+	}
+}
+
+var _ predictor.BatchPredictor = (*Predictor)(nil)

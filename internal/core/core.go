@@ -99,6 +99,10 @@ type Predictor struct {
 	// customIndexes records that cfg.Indexes was caller-supplied, i.e. the
 	// configuration is not canonicalizable (ConfigKey returns "").
 	customIndexes bool
+	// ip holds the precomputed default index parameters (nil under a
+	// custom IndexSet); the batch index stage inlines over it instead of
+	// calling through the IndexSet function value.
+	ip *indexParams
 	// st holds the attribution counters when collection is enabled
 	// (stats.Instrumented); nil — the default — keeps the update path
 	// attribution-free apart from this one pointer check.
@@ -128,7 +132,8 @@ func New(cfg Config) (*Predictor, error) {
 		p.banks[b] = s
 	}
 	if p.cfg.Indexes == nil {
-		p.cfg.Indexes = DefaultIndexSet(cfg)
+		p.ip = newIndexParams(cfg)
+		p.cfg.Indexes = p.ip.index
 	}
 	p.name = cfg.Name
 	if p.name == "" {
@@ -154,7 +159,7 @@ func MustNew(cfg Config) *Predictor {
 type indexParams struct {
 	bits    [NumBanks]int
 	histLen [NumBanks]int
-	fns     [NumBanks]*skew.Func // G0..Meta; BIM is unskewed
+	fns     [NumBanks]skew.Compiled // G0..Meta; BIM is unskewed
 	bimMask uint64
 	usePath bool
 }
@@ -186,21 +191,29 @@ func (ip *indexParams) index(info *history.Info) [NumBanks]uint64 {
 	return idx
 }
 
-// DefaultIndexSet builds the unconstrained index functions used everywhere
-// in §8 except §8.5: BIM indexed by address (XORed with its folded history
-// when a BIM history length is configured), and G0/G1/Meta indexed by three
-// distinct skewing functions of (address, per-bank-truncated history).
-func DefaultIndexSet(cfg Config) IndexSet {
+// newIndexParams precomputes the default index functions for cfg,
+// with the skewing functions compiled to their branchless shift form
+// (skew.Compile) so the per-branch index work is straight-line
+// arithmetic.
+func newIndexParams(cfg Config) *indexParams {
 	ip := &indexParams{usePath: cfg.UsePath}
 	for b := BIM; b < NumBanks; b++ {
 		ip.bits[b] = bitutil.Log2(uint64(cfg.Banks[b].Entries))
 		ip.histLen[b] = cfg.Banks[b].HistLen
 	}
 	for b := G0; b <= Meta; b++ {
-		ip.fns[b] = skew.MustFamily(ip.bits[b], 3)[int(b-G0)]
+		ip.fns[b] = skew.MustFamily(ip.bits[b], 3)[int(b-G0)].Compile()
 	}
 	ip.bimMask = bitutil.Mask(ip.bits[BIM])
-	return ip.index
+	return ip
+}
+
+// DefaultIndexSet builds the unconstrained index functions used everywhere
+// in §8 except §8.5: BIM indexed by address (XORed with its folded history
+// when a BIM history length is configured), and G0/G1/Meta indexed by three
+// distinct skewing functions of (address, per-bank-truncated history).
+func DefaultIndexSet(cfg Config) IndexSet {
+	return newIndexParams(cfg).index
 }
 
 // lookup reads the four prediction bits for the computed indices.

@@ -89,17 +89,52 @@ func (a *Array) Set(i uint64, v uint8) {
 // Taken reports the prediction of counter i (state >= 2).
 func (a *Array) Taken(i uint64) bool { return a.Get(i) >= 2 }
 
+// TakenBit returns the prediction of counter i as a 0/1 word — the high
+// bit of the 2-bit state, extracted without the bool round-trip. The
+// batch kernels combine these bits with bit-parallel majority/arbitration
+// logic instead of per-branch if ladders.
+func (a *Array) TakenBit(i uint64) uint64 {
+	i &= a.mask()
+	return a.words[i>>5] >> ((i&31)*2 + 1) & 1
+}
+
+// SatStep returns the classical saturating transition of state c (0..3)
+// toward the outcome: increment on taken, decrement on not taken,
+// saturating at the rails. The comparisons compile to flag-setting
+// arithmetic, not branches, which is what the batch kernel needs.
+func SatStep(c uint8, taken bool) uint8 {
+	if taken {
+		if c < 3 {
+			c++
+		}
+	} else if c > 0 {
+		c--
+	}
+	return c
+}
+
 // Update applies the classical saturating transition toward the outcome:
 // increment on taken, decrement on not taken, saturating at 0 and 3.
 func (a *Array) Update(i uint64, taken bool) {
-	c := a.Get(i)
-	if taken {
-		if c < 3 {
-			a.Set(i, c+1)
-		}
-	} else if c > 0 {
-		a.Set(i, c-1)
-	}
+	a.UpdateN(i, taken)
+}
+
+// UpdateN is Update with the backing word located once and the state
+// transition reported back: the word index and lane shift are resolved a
+// single time (Update previously recomputed them in its Get half and
+// again in its Set half), the transition is SatStep, and the returned
+// old/next states let instrumented callers observe the counter without
+// re-locating it. The scalar Update path and the batch kernels share
+// this as their only Array write path.
+func (a *Array) UpdateN(i uint64, taken bool) (old, next uint8) {
+	i &= a.mask()
+	w := i >> 5
+	sh := (i & 31) * 2
+	word := a.words[w]
+	old = uint8(word>>sh) & 3
+	next = SatStep(old, taken)
+	a.words[w] = word&^(3<<sh) | uint64(next)<<sh
+	return old, next
 }
 
 // WordCount returns the number of backing 64-bit words — the exact length
@@ -156,6 +191,13 @@ func (b *BitArray) Len() int { return int(b.entries) }
 func (b *BitArray) Get(i uint64) bool {
 	i &= b.mask()
 	return b.words[i>>6]>>(i&63)&1 == 1
+}
+
+// Bit returns bit i as a 0/1 word, for bit-parallel combines that want
+// to stay out of bool-land.
+func (b *BitArray) Bit(i uint64) uint64 {
+	i &= b.mask()
+	return b.words[i>>6] >> (i & 63) & 1
 }
 
 // Set stores v into bit i.
@@ -262,6 +304,11 @@ func (s *Split) SizeBits() int { return s.pred.Len() + s.hyst.Len() }
 // Pred returns the prediction bit for index i (true = taken). This is the
 // only read a correct prediction ever needs (§4.3).
 func (s *Split) Pred(i uint64) bool { return s.pred.Get(i) }
+
+// PredBit returns the prediction bit for index i as a 0/1 word — the
+// read the batch kernel's bit-parallel majority-vote and meta-arbitration
+// combine consumes.
+func (s *Split) PredBit(i uint64) uint64 { return s.pred.Bit(i) }
 
 // Strong reports whether the shared hysteresis bit for index i is set.
 func (s *Split) Strong(i uint64) bool { return s.hyst.Get(i & s.hystMask) }

@@ -358,6 +358,131 @@ func TestSplitQuickEquivalence(t *testing.T) {
 	}
 }
 
+func TestSatStepTransitionTable(t *testing.T) {
+	cases := []struct {
+		from  uint8
+		taken bool
+		want  uint8
+	}{
+		{0, true, 1}, {1, true, 2}, {2, true, 3}, {3, true, 3},
+		{3, false, 2}, {2, false, 1}, {1, false, 0}, {0, false, 0},
+	}
+	for _, c := range cases {
+		if got := SatStep(c.from, c.taken); got != c.want {
+			t.Errorf("SatStep(%d, %v) = %d, want %d", c.from, c.taken, got, c.want)
+		}
+	}
+}
+
+func TestUpdateNReturnsAndSaturates(t *testing.T) {
+	// UpdateN must report the pre- and post-transition states and leave the
+	// array exactly where Set+SatStep would, including at both rails.
+	a := NewArray(64, 0)
+	for from := uint8(0); from < 4; from++ {
+		for _, taken := range []bool{false, true} {
+			a.Set(7, from)
+			old, next := a.UpdateN(7, taken)
+			if old != from {
+				t.Errorf("UpdateN(%d, %v): old = %d", from, taken, old)
+			}
+			if want := SatStep(from, taken); next != want || a.Get(7) != want {
+				t.Errorf("UpdateN(%d, %v): next = %d, stored = %d, want %d",
+					from, taken, next, a.Get(7), want)
+			}
+		}
+	}
+	// Saturation boundaries: repeated updates pin at the rails and keep
+	// reporting (rail, rail).
+	a.Set(0, StrongTaken)
+	for i := 0; i < 5; i++ {
+		if old, next := a.UpdateN(0, true); old != StrongTaken || next != StrongTaken {
+			t.Fatalf("taken rail iteration %d: (%d, %d)", i, old, next)
+		}
+	}
+	a.Set(0, StrongNotTaken)
+	for i := 0; i < 5; i++ {
+		if old, next := a.UpdateN(0, false); old != StrongNotTaken || next != StrongNotTaken {
+			t.Fatalf("not-taken rail iteration %d: (%d, %d)", i, old, next)
+		}
+	}
+	// Neighbors in the same backing word are untouched by the single-word
+	// read-modify-write.
+	a.Set(8, WeakTaken)
+	a.Set(9, StrongTaken)
+	a.UpdateN(8, false)
+	if a.Get(9) != StrongTaken || a.Get(7) != StrongTaken {
+		t.Error("UpdateN disturbed neighboring counters")
+	}
+}
+
+func TestUpdateNMatchesReferenceSequence(t *testing.T) {
+	// A random UpdateN sequence must track the []uint8 model, old/next
+	// included, across word boundaries.
+	a := NewArray(256, WeakNotTaken)
+	ref := make([]uint8, 256)
+	for i := range ref {
+		ref[i] = WeakNotTaken
+	}
+	r := rng.New(99, 0)
+	for step := 0; step < 100000; step++ {
+		i := uint64(r.Intn(256))
+		taken := r.Bool(0.5)
+		old, next := a.UpdateN(i, taken)
+		wantOld := ref[i]
+		ref[i] = SatStep(ref[i], taken)
+		if old != wantOld || next != ref[i] {
+			t.Fatalf("step %d idx %d: (%d, %d), want (%d, %d)", step, i, old, next, wantOld, ref[i])
+		}
+	}
+}
+
+func TestArrayTakenBit(t *testing.T) {
+	a := NewArray(64, 0)
+	for st := uint8(0); st < 4; st++ {
+		a.Set(33, st)
+		want := uint64(0)
+		if st >= 2 {
+			want = 1
+		}
+		if got := a.TakenBit(33); got != want {
+			t.Errorf("state %d: TakenBit = %d, want %d", st, got, want)
+		}
+		if (a.TakenBit(33) == 1) != a.Taken(33) {
+			t.Errorf("state %d: TakenBit disagrees with Taken", st)
+		}
+	}
+}
+
+func TestBitArrayBit(t *testing.T) {
+	b := NewBitArray(128)
+	b.Set(0, true)
+	b.Set(63, true)
+	b.Set(64, true)
+	for _, i := range []uint64{0, 1, 62, 63, 64, 65, 127} {
+		want := uint64(0)
+		if b.Get(i) {
+			want = 1
+		}
+		if got := b.Bit(i); got != want {
+			t.Errorf("Bit(%d) = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestSplitPredBit(t *testing.T) {
+	s := MustSplit(16, 8)
+	for st := uint8(0); st < 4; st++ {
+		s.SetState(5, st)
+		want := uint64(0)
+		if st >= 2 {
+			want = 1
+		}
+		if got := s.PredBit(5); got != want {
+			t.Errorf("state %d: PredBit = %d, want %d", st, got, want)
+		}
+	}
+}
+
 func BenchmarkArrayUpdate(b *testing.B) {
 	a := NewArray(1<<16, WeakNotTaken)
 	for i := 0; i < b.N; i++ {

@@ -11,6 +11,7 @@ package hotbench
 
 import (
 	"fmt"
+	"math/bits"
 
 	"ev8pred/internal/core"
 	"ev8pred/internal/ev8"
@@ -42,6 +43,10 @@ type Case struct {
 	// Gated marks the configurations covered by the zero-allocation
 	// acceptance gate (the paper-relevant hot predictors).
 	Gated bool
+	// Batch marks the configurations whose predictor implements
+	// predictor.BatchPredictor; cmd/benchkernel measures these scalar vs
+	// batch.
+	Batch bool
 }
 
 // Cases returns the measurement roster: the EV8, the unconstrained
@@ -50,13 +55,13 @@ func Cases() []Case {
 	return []Case{
 		{Name: "ev8", Mode: frontend.ModeEV8(), Gated: true,
 			New: func() (predictor.Predictor, error) { return ev8.New(ev8.DefaultConfig()) }},
-		{Name: "2bcg-512K", Mode: frontend.ModeGhist(), Gated: true,
+		{Name: "2bcg-512K", Mode: frontend.ModeGhist(), Gated: true, Batch: true,
 			New: func() (predictor.Predictor, error) { return core.New(core.Config512K()) }},
-		{Name: "2bcg-ev8size", Mode: frontend.ModeGhist(), Gated: true,
+		{Name: "2bcg-ev8size", Mode: frontend.ModeGhist(), Gated: true, Batch: true,
 			New: func() (predictor.Predictor, error) { return core.New(core.ConfigEV8Size()) }},
-		{Name: "egskew", Mode: frontend.ModeGhist(), Gated: false,
+		{Name: "egskew", Mode: frontend.ModeGhist(), Gated: false, Batch: true,
 			New: func() (predictor.Predictor, error) { return egskew.New(8192, 13, true) }},
-		{Name: "gshare-2M", Mode: frontend.ModeGhist(), Gated: false,
+		{Name: "gshare-2M", Mode: frontend.ModeGhist(), Gated: false, Batch: true,
 			New: func() (predictor.Predictor, error) { return gshare.New(1024*1024, 20) }},
 		{Name: "bimodal", Mode: frontend.ModeGhist(), Gated: false,
 			New: func() (predictor.Predictor, error) { return bimodal.New(256 * 1024) }},
@@ -115,3 +120,74 @@ func Replay(p predictor.Predictor, events []Event) {
 	}
 	ReplayUnfused(p, events)
 }
+
+// BatchRun is an event window pre-staged into the chunked
+// structure-of-arrays form the batch kernel consumes: contiguous
+// information vectors and outcomes packed 64 per word, chunked to the
+// simulator's chunk size, plus the reusable snapshot/finals scratch.
+// Building it once and replaying it many times keeps the conversion out
+// of the measured loop — the same split sim.Run's batch path gets from
+// its front-end walk.
+type BatchRun struct {
+	infos  []history.Info
+	taken  []uint64 // stride words per chunk, chunks concatenated
+	snaps  []predictor.Snapshot
+	finals []uint64
+	chunk  int
+	stride int // words per chunk
+}
+
+// NewBatchRun stages events into chunks of the given size (<= 0 selects
+// the simulator's 1024).
+func NewBatchRun(events []Event, chunk int) *BatchRun {
+	if chunk <= 0 {
+		chunk = 1024
+	}
+	stride := predictor.BatchWords(chunk)
+	nchunks := (len(events) + chunk - 1) / chunk
+	r := &BatchRun{
+		infos:  make([]history.Info, len(events)),
+		taken:  make([]uint64, nchunks*stride),
+		snaps:  make([]predictor.Snapshot, chunk),
+		finals: make([]uint64, stride),
+		chunk:  chunk,
+		stride: stride,
+	}
+	for i := range events {
+		r.infos[i] = events[i].Info
+		if events[i].Taken {
+			c := i / chunk
+			lane := uint(i%chunk) & 63
+			r.taken[c*stride+(i%chunk)>>6] |= 1 << lane
+		}
+	}
+	return r
+}
+
+// Replay pushes the staged events through LookupBatch/UpdateBatch chunk
+// by chunk, and returns the total mispredict count (so the work cannot
+// be dead-code-eliminated and correctness checks come free).
+func (r *BatchRun) Replay(bp predictor.BatchPredictor) int64 {
+	var misp int64
+	for c := 0; c*r.chunk < len(r.infos); c++ {
+		lo := c * r.chunk
+		hi := lo + r.chunk
+		if hi > len(r.infos) {
+			hi = len(r.infos)
+		}
+		m := hi - lo
+		tw := r.taken[c*r.stride : c*r.stride+predictor.BatchWords(m)]
+		bp.LookupBatch(r.infos[lo:hi], r.snaps[:m])
+		bp.UpdateBatch(r.snaps[:m], tw, r.finals)
+		for w := range tw {
+			misp += int64(popcount(r.finals[w] ^ tw[w]))
+		}
+	}
+	return misp
+}
+
+// Len returns the number of staged events.
+func (r *BatchRun) Len() int { return len(r.infos) }
+
+// popcount is math/bits.OnesCount64; aliased to keep the import list flat.
+func popcount(x uint64) int { return bits.OnesCount64(x) }

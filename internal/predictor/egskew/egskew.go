@@ -26,7 +26,7 @@ type EGskew struct {
 	g1      *counter.Array
 	bits    int
 	histLen int
-	fns     []*skew.Func
+	fns     [2]skew.Compiled
 	partial bool
 	name    string
 	// st holds attribution counters when stats collection is enabled
@@ -70,7 +70,7 @@ func New(entries, histLen int, partial bool) (*EGskew, error) {
 		g1:      counter.NewArray(entries, counter.WeakNotTaken),
 		bits:    bits,
 		histLen: histLen,
-		fns:     fns,
+		fns:     [2]skew.Compiled{fns[0].Compile(), fns[1].Compile()},
 		partial: partial,
 		name:    fmt.Sprintf("e-gskew-3x%dK-h%d", entries/1024, histLen),
 	}, nil
@@ -283,6 +283,55 @@ func (e *EGskew) Reset() {
 	}
 }
 
+// LookupBatch implements predictor.BatchPredictor: the pure index stage
+// over the chunk — PC extraction, history concatenation, and the two
+// compiled skewing functions. No counter state is touched.
+func (e *EGskew) LookupBatch(infos []history.Info, snaps []predictor.Snapshot) {
+	for i := range infos {
+		info := &infos[i]
+		ibim := predictor.PCBits(info.PC, e.bits)
+		v := ibim | predictor.HistMask(info.Hist, e.histLen)<<uint(e.bits)
+		vlen := e.bits + e.histLen
+		idx := &snaps[i].Idx
+		idx[0] = ibim
+		idx[1] = e.fns[0].Index(v, vlen)
+		idx[2] = e.fns[1].Index(v, vlen)
+	}
+}
+
+// UpdateBatch implements predictor.BatchPredictor: per-branch in-order
+// resolve with the three vote bits read as 0/1 words, the majority taken
+// bit-parallel, and training through the same applyUpdate /
+// updateInstrumented write path as the scalar UpdateWith.
+func (e *EGskew) UpdateBatch(snaps []predictor.Snapshot, taken, finals []uint64) {
+	var fw uint64
+	wi := 0
+	for i := range snaps {
+		idx := &snaps[i].Idx
+		pb := e.bim.TakenBit(idx[0])
+		p0 := e.g0.TakenBit(idx[1])
+		p1 := e.g1.TakenBit(idx[2])
+		maj := pb&p0 | pb&p1 | p0&p1
+		lane := uint(i) & 63
+		fw |= maj << lane
+		tk := taken[i>>6]>>lane&1 == 1
+		if e.st != nil {
+			e.updateInstrumented(idx[0], idx[1], idx[2], pb == 1, p0 == 1, p1 == 1, maj == 1, tk)
+		} else {
+			e.applyUpdate(idx[0], idx[1], idx[2], pb == 1, p0 == 1, p1 == 1, maj == 1, tk)
+		}
+		if lane == 63 {
+			finals[wi] = fw
+			fw = 0
+			wi++
+		}
+	}
+	if len(snaps)&63 != 0 {
+		finals[wi] = fw
+	}
+}
+
 var _ predictor.Predictor = (*EGskew)(nil)
 var _ predictor.FusedPredictor = (*EGskew)(nil)
+var _ predictor.BatchPredictor = (*EGskew)(nil)
 var _ stats.Instrumented = (*EGskew)(nil)

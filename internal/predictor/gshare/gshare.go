@@ -90,10 +90,12 @@ func (g *Gshare) update(idx uint64, taken bool) {
 }
 
 // updateInstrumented wraps the identical table write in attribution
-// counting.
-func (g *Gshare) updateInstrumented(idx uint64, taken bool) {
+// counting. The counter is located once (counter.Array.UpdateN), which
+// also hands back the before state the batch path needs — it is
+// returned so UpdateBatch avoids a second table read.
+func (g *Gshare) updateInstrumented(idx uint64, taken bool) (before uint8) {
 	st := g.st
-	before := g.table.Get(idx)
+	before, after := g.table.UpdateN(idx, taken)
 	st.updates++
 	if (before >= counter.WeakTaken) != taken {
 		st.mispredicts++
@@ -105,11 +107,10 @@ func (g *Gshare) updateInstrumented(idx uint64, taken bool) {
 	} else {
 		st.strengthens++
 	}
-	g.table.Update(idx, taken)
-	after := g.table.Get(idx)
 	if (before >= counter.WeakTaken) != (after >= counter.WeakTaken) {
 		st.predFlips++
 	}
+	return before
 }
 
 // EnableStats implements stats.Instrumented.
@@ -155,6 +156,44 @@ func (g *Gshare) UpdateWith(s predictor.Snapshot, taken bool) {
 	g.update(s.Idx[0], taken)
 }
 
+// LookupBatch implements predictor.BatchPredictor: the folded-history
+// hashes for the whole chunk, no table reads.
+func (g *Gshare) LookupBatch(infos []history.Info, snaps []predictor.Snapshot) {
+	histLen, bits := g.histLen, g.bits
+	for i := range infos {
+		snaps[i].Idx[0] = predictor.GshareIndex(infos[i].PC, infos[i].Hist, histLen, bits)
+	}
+}
+
+// UpdateBatch implements predictor.BatchPredictor. Each branch resolves
+// in order against live counter state; UpdateN locates the counter once
+// and its before state doubles as the lookup-time prediction (at delay 0
+// nothing trains between a branch's lookup and its update), whose high
+// bit is packed straight into finals.
+func (g *Gshare) UpdateBatch(snaps []predictor.Snapshot, taken, finals []uint64) {
+	var fw uint64
+	wi := 0
+	for i := range snaps {
+		lane := uint(i) & 63
+		tk := taken[i>>6]>>lane&1 == 1
+		var before uint8
+		if g.st != nil {
+			before = g.updateInstrumented(snaps[i].Idx[0], tk)
+		} else {
+			before, _ = g.table.UpdateN(snaps[i].Idx[0], tk)
+		}
+		fw |= uint64(before>>1&1) << lane
+		if lane == 63 {
+			finals[wi] = fw
+			fw = 0
+			wi++
+		}
+	}
+	if len(snaps)&63 != 0 {
+		finals[wi] = fw
+	}
+}
+
 // Name implements predictor.Predictor.
 func (g *Gshare) Name() string { return g.name }
 
@@ -175,4 +214,5 @@ func (g *Gshare) Reset() {
 
 var _ predictor.Predictor = (*Gshare)(nil)
 var _ predictor.FusedPredictor = (*Gshare)(nil)
+var _ predictor.BatchPredictor = (*Gshare)(nil)
 var _ stats.Instrumented = (*Gshare)(nil)

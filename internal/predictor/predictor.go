@@ -132,6 +132,57 @@ type FusedPredictor interface {
 	UpdateWith(s Snapshot, taken bool)
 }
 
+// BatchPredictor is the optional data-oriented extension of
+// FusedPredictor: a predictor that can run a whole chunk of branches
+// through each pipeline stage — index computation, table reads,
+// combine, train — instead of one branch at a time. The simulator
+// routes eligible runs through it (sim.Run with a trace.BatchSource at
+// update delay 0); everything else keeps the scalar fused path, so
+// schemes with sequencing state between branches (the EV8 §6.2
+// sequencer) simply don't implement this interface.
+//
+// The contract is exact scalar equivalence. For a chunk of n branches
+// with outcomes taken (bit i of taken[i/64], lane i%64), the pair
+//
+//	LookupBatch(infos, snaps)
+//	UpdateBatch(snaps, taken, finals)
+//
+// must leave the predictor in the same state, and fill finals with the
+// same per-branch predictions, as the scalar sequence
+//
+//	for i := range infos {
+//		s := Lookup(&infos[i])
+//		finals bit i = s.Final
+//		UpdateWith(s, outcome i)
+//	}
+//
+// including attribution (stats.Instrumented) counts. Because a branch
+// can recur within one chunk (a hot loop body aliases with itself),
+// LookupBatch must restrict itself to the state-independent work: it
+// fills only snaps[i].Idx (the pure index arithmetic over the chunk)
+// and must not read or write counter state; the Preds/Final/Aux fields
+// are left unset. UpdateBatch then resolves each branch in order —
+// read, combine, train — against live counter state, which is exactly
+// what the scalar interleaving sees at delay 0. Neither call may
+// allocate: all scratch is caller-owned.
+type BatchPredictor interface {
+	FusedPredictor
+	// LookupBatch stages the pure index computation for a chunk:
+	// snaps[i].Idx = the index set Lookup would derive from infos[i].
+	// len(snaps) must equal len(infos). No counter state is touched.
+	LookupBatch(infos []history.Info, snaps []Snapshot)
+	// UpdateBatch resolves and trains the staged chunk in order. taken
+	// carries the architectural outcomes packed 64 per word; UpdateBatch
+	// packs the per-branch final predictions into finals the same way,
+	// zeroing unused lanes of the last word. Both must hold
+	// (len(snaps)+63)/64 words.
+	UpdateBatch(snaps []Snapshot, taken, finals []uint64)
+}
+
+// BatchWords returns the packed-bitset word count UpdateBatch requires
+// for a chunk of n branches.
+func BatchWords(n int) int { return (n + 63) / 64 }
+
 // PCBits extracts n address bits from a branch PC, skipping the two
 // always-zero alignment bits. Every PC-indexed table in the library uses
 // this so that sequential instructions map to sequential entries.

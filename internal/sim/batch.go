@@ -1,0 +1,295 @@
+// Batch execution path: when the predictor implements
+// predictor.BatchPredictor and the source implements trace.BatchSource,
+// the per-branch Lookup/UpdateWith interface round-trips collapse into
+// two calls per 1024-record chunk — a staged index pass and an in-order
+// resolve pass — with mispredictions counted by popcount over packed
+// prediction/outcome bitsets. See docs/PERFORMANCE.md, "Batch kernel".
+//
+// Eligibility is strict, because the contract is byte-identical results:
+//
+//   - UpdateDelay must be 0. Under commit delay the scalar loop
+//     interleaves lookups and delayed updates branch by branch through
+//     the ring; a chunked schedule cannot reproduce that interleaving
+//     without running branch-at-a-time anyway, so delayed runs keep the
+//     scalar path (that path is also where scalar wins — see the docs).
+//   - The predictor must not observe fetch blocks (BlockObserver): the
+//     EV8 §6.2 sequencer advances on every block, between branches, and
+//     stays on the scalar path by design.
+//   - Options.Batch can force the scalar path (BatchOff) for
+//     differential testing; the default (BatchAuto) engages whenever the
+//     run is eligible, precisely because results are identical.
+package sim
+
+import (
+	"io"
+	"math/bits"
+
+	"ev8pred/internal/history"
+	"ev8pred/internal/predictor"
+	"ev8pred/internal/trace"
+)
+
+// BatchMode selects whether sim.Run and RunEnsemble may route eligible
+// runs through the batch kernel. Like Workers and Ensemble it chooses a
+// schedule, never a result: both modes are byte-identical (the batch
+// differential suite pins that), so it is excluded from cache keys.
+type BatchMode int
+
+const (
+	// BatchAuto (the zero value) uses the batch path whenever the run is
+	// eligible.
+	BatchAuto BatchMode = iota
+	// BatchOff forces the scalar fused path.
+	BatchOff
+)
+
+// String renders the mode for flags and logs.
+func (m BatchMode) String() string {
+	switch m {
+	case BatchAuto:
+		return "auto"
+	case BatchOff:
+		return "off"
+	default:
+		return "invalid"
+	}
+}
+
+// batchChunk is the number of trace records staged per chunk. 1024
+// records keep the per-chunk scratch (records, infos, snapshots,
+// bitsets) around 100 KB — resident in L2 next to the predictor's
+// prediction arrays — while amortizing the per-chunk overheads to noise.
+const batchChunk = 1024
+
+// batchScratch is the chunk-sized working set of one batch run,
+// allocated once per run (or once per ensemble) so the steady state
+// allocates nothing.
+type batchScratch struct {
+	buf    []trace.Branch
+	infos  []history.Info
+	snaps  []predictor.Snapshot
+	taken  []uint64
+	finals []uint64
+}
+
+func newBatchScratch() *batchScratch {
+	return &batchScratch{
+		buf:    make([]trace.Branch, batchChunk),
+		infos:  make([]history.Info, batchChunk),
+		snaps:  make([]predictor.Snapshot, batchChunk),
+		taken:  make([]uint64, predictor.BatchWords(batchChunk)),
+		finals: make([]uint64, predictor.BatchWords(batchChunk)),
+	}
+}
+
+// countMispredicts popcounts prediction/outcome disagreements over the
+// packed words, restricted to lanes [start, m) — the chunk's measured
+// window after warmup gating.
+func countMispredicts(finals, taken []uint64, start, m int) int64 {
+	var misp int64
+	for w := start >> 6; w < (m+63)>>6; w++ {
+		d := finals[w] ^ taken[w]
+		lo := w << 6
+		if lo < start {
+			d &= ^uint64(0) << uint(start-lo)
+		}
+		if hi := lo + 64; hi > m {
+			d &= ^uint64(0) >> uint(hi-m)
+		}
+		misp += int64(bits.OnesCount64(d))
+	}
+	return misp
+}
+
+// warmupStart returns the first measured lane of a chunk of m branches
+// that starts at global branch index branches.
+func warmupStart(branches, warmup int64, m int) int {
+	if branches >= warmup {
+		return 0
+	}
+	skip := warmup - branches
+	if skip > int64(m) {
+		skip = int64(m)
+	}
+	return int(skip)
+}
+
+// runBatchStream is the batch twin of run's scalar loop. The front-end
+// walk stays sequential and identical to the scalar loop (per-record
+// tracker state machine, warmup-gated instruction accounting); what gets
+// batched is everything per-branch downstream of it. Record consumption
+// is also identical: a fill never asks for more records than remaining
+// branches (MaxBranches - Branches), and since a record holds at most
+// one conditional branch, the stream position where the run stops — and
+// therefore Checkpoint.Records and warm-ensemble continuation — is the
+// same as scalar's stop-at-the-Nth-branch.
+func runBatchStream(bp predictor.BatchPredictor, bs trace.BatchSource, opts Options, res *Result, records *int64, trackers *trackerTable) error {
+	s := newBatchScratch()
+	for {
+		want := batchChunk
+		if opts.MaxBranches > 0 {
+			rem := opts.MaxBranches - res.Branches
+			if rem <= 0 {
+				break
+			}
+			if rem < int64(want) {
+				want = int(rem)
+			}
+		}
+		n, ferr := bs.NextBatch(s.buf[:want])
+		m := 0
+		branches := res.Branches
+		for bi := 0; bi < n; bi++ {
+			b := &s.buf[bi]
+			tr := trackers.lookup(b.Thread)
+			if tr == nil {
+				var err error
+				tr, err = trackers.create(b.Thread, opts, nil)
+				if err != nil {
+					return err
+				}
+			}
+			info, isCond := tr.Process(*b)
+			if branches >= opts.Warmup {
+				res.Instructions += int64(b.Gap) + 1
+			}
+			if !isCond {
+				continue
+			}
+			lane := uint(m) & 63
+			if lane == 0 {
+				s.taken[m>>6] = 0
+			}
+			if b.Taken {
+				s.taken[m>>6] |= 1 << lane
+			}
+			s.infos[m] = info
+			m++
+			branches++
+		}
+		*records += int64(n)
+		if m > 0 {
+			bp.LookupBatch(s.infos[:m], s.snaps[:m])
+			bp.UpdateBatch(s.snaps[:m], s.taken, s.finals)
+			start := warmupStart(res.Branches, opts.Warmup, m)
+			res.Mispredicts += countMispredicts(s.finals, s.taken, start, m)
+			res.Branches += int64(m)
+		}
+		if ferr != nil {
+			// Clean EOF or sticky failure: stop either way; run's
+			// SourceErr check after the loop distinguishes them.
+			break
+		}
+		if n == 0 {
+			// The contract says a nil-error short read may be empty, but a
+			// source that returns (0, nil) forever must not spin us; treat
+			// it as end of stream, like the ensemble loop does.
+			break
+		}
+	}
+	return nil
+}
+
+// runEnsembleBatchStream is the batch twin of runEnsemble's stream loop,
+// used at update delay 0 with no block observers. The shared front-end
+// walk stages a chunk of information vectors once, then each member
+// consumes the whole chunk: batch-capable members through their
+// LookupBatch/UpdateBatch kernels, everything else through a per-branch
+// loop over the staged infos. Beyond dropping the per-branch member
+// fan-out overhead, the chunked schedule is a cache-blocking win — a
+// member's tables stay hot across its 1024 consecutive branches instead
+// of being evicted K-1 times per branch by its peers. Reordering the
+// (branch, member) loop nest is safe because member state is private;
+// the shared front end is sequenced identically to the scalar loop.
+//
+// Returns (srcErr, err) with the same split as the scalar loop: srcErr
+// is a deferred mid-stream source failure (reported after results are
+// assembled), err an immediate abort (bad thread id).
+func runEnsembleBatchStream(members []member, src trace.Source, bs trace.BatchSource, opts Options, trackers *trackerTable, branches, instructions *int64) (srcErr, err error) {
+	s := newBatchScratch()
+	bps := make([]predictor.BatchPredictor, len(members))
+	for k := range members {
+		if bp, ok := members[k].p.(predictor.BatchPredictor); ok {
+			bps[k] = bp
+		}
+	}
+	for {
+		if opts.MaxBranches > 0 && *branches >= opts.MaxBranches {
+			break
+		}
+		n, ferr := fillBatch(src, bs, s.buf)
+		m := 0
+		bcount := *branches
+		for bi := 0; bi < n; bi++ {
+			if opts.MaxBranches > 0 && bcount >= opts.MaxBranches {
+				// Identical to the scalar loop's break at the branch
+				// budget: the rest of the pulled batch is dropped (the
+				// documented over-read of batched ensemble pulls).
+				break
+			}
+			b := &s.buf[bi]
+			tr := trackers.lookup(b.Thread)
+			if tr == nil {
+				tr, err = trackers.create(b.Thread, opts, nil)
+				if err != nil {
+					return nil, err
+				}
+			}
+			info, isCond := tr.Process(*b)
+			if bcount >= opts.Warmup {
+				*instructions += int64(b.Gap) + 1
+			}
+			if !isCond {
+				continue
+			}
+			lane := uint(m) & 63
+			if lane == 0 {
+				s.taken[m>>6] = 0
+			}
+			if b.Taken {
+				s.taken[m>>6] |= 1 << lane
+			}
+			s.infos[m] = info
+			m++
+			bcount++
+		}
+		if m > 0 {
+			start := warmupStart(*branches, opts.Warmup, m)
+			for k := range members {
+				mem := &members[k]
+				if bp := bps[k]; bp != nil {
+					bp.LookupBatch(s.infos[:m], s.snaps[:m])
+					bp.UpdateBatch(s.snaps[:m], s.taken, s.finals)
+					mem.mispredicts += countMispredicts(s.finals, s.taken, start, m)
+					continue
+				}
+				for j := 0; j < m; j++ {
+					tk := s.taken[j>>6]>>(uint(j)&63)&1 == 1
+					if mem.fused {
+						snap := mem.fp.Lookup(&s.infos[j])
+						if j >= start && snap.Final != tk {
+							mem.mispredicts++
+						}
+						mem.fp.UpdateWith(snap, tk)
+					} else {
+						if pred := mem.p.Predict(&s.infos[j]); j >= start && pred != tk {
+							mem.mispredicts++
+						}
+						mem.p.Update(&s.infos[j], tk)
+					}
+				}
+			}
+			*branches += int64(m)
+		}
+		if ferr != nil {
+			if ferr != io.EOF {
+				srcErr = ferr
+			}
+			break
+		}
+		if n == 0 {
+			break
+		}
+	}
+	return srcErr, nil
+}

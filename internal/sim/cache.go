@@ -19,9 +19,10 @@ import (
 )
 
 // canonicalOptions serializes exactly the result-affecting options.
-// Workers and Ensemble are deliberately excluded: they choose a schedule,
-// and results are byte-identical across schedules (pool_test.go pins
-// that), so a serial run may answer a parallel one and vice versa.
+// Workers, Ensemble and Batch are deliberately excluded: they choose a
+// schedule, and results are byte-identical across schedules
+// (pool_test.go and the batch differential suite pin that), so a serial
+// run may answer a parallel or batched one and vice versa.
 // Collect IS included — it decides whether Result.Stats exists.
 func canonicalOptions(o Options) string {
 	return fmt.Sprintf("mode=%v/%v/%d|max=%d|delay=%d|warmup=%d|lenient=%v|collect=%v",

@@ -71,24 +71,15 @@ func (m *member) drain() {
 }
 
 // fillBatch pulls the next run of records into buf: one NextBatch call
-// when the source supports batching, a per-record Next loop otherwise.
-// Both legs normalize to the trace.BatchSource contract — records first,
-// then io.EOF for a clean end or the source's terminal error.
+// when the source supports batching (bs caches the type assertion),
+// trace.ReadBatch's per-record Next normalization otherwise. Both legs
+// follow the trace.BatchSource contract — records first, then io.EOF
+// for a clean end or the source's terminal error.
 func fillBatch(src trace.Source, bs trace.BatchSource, buf []trace.Branch) (int, error) {
 	if bs != nil {
 		return bs.NextBatch(buf)
 	}
-	for i := range buf {
-		b, ok := src.Next()
-		if !ok {
-			if err := trace.SourceErr(src); err != nil {
-				return i, err
-			}
-			return i, io.EOF
-		}
-		buf[i] = b
-	}
-	return len(buf), nil
+	return trace.ReadBatch(src, buf)
 }
 
 // RunEnsemble simulates one cold predictor per factory over a single
@@ -224,90 +215,105 @@ func runEnsemble(factories []Factory, src trace.Source, opts Options, ck *Checkp
 		instructions = ck.Instructions
 	}
 	bs, _ := src.(trace.BatchSource)
-	buf := make([]trace.Branch, ensembleBatch)
 
-stream:
-	for {
-		if opts.MaxBranches > 0 && branches >= opts.MaxBranches {
-			break
+	// At update delay 0 with no block observers the stream runs through
+	// the batch twin of this loop (internal/sim/batch.go): the shared
+	// front-end walk stages each chunk once, batch-capable members
+	// consume it through their LookupBatch/UpdateBatch kernels, and the
+	// rest replay the staged infos per branch — byte-identical results,
+	// pinned by the batch differential suite.
+	if opts.UpdateDelay == 0 && onBlock == nil && opts.Batch != BatchOff {
+		serr, err := runEnsembleBatchStream(members, src, bs, opts, &trackers, &branches, &instructions)
+		if err != nil {
+			return results, err
 		}
-		n, ferr := fillBatch(src, bs, buf)
-		for bi := 0; bi < n; bi++ {
+		srcErr = serr
+	} else {
+		buf := make([]trace.Branch, ensembleBatch)
+
+	stream:
+		for {
 			if opts.MaxBranches > 0 && branches >= opts.MaxBranches {
-				break stream
+				break
 			}
-			b := buf[bi]
-			tr := trackers.lookup(b.Thread)
-			if tr == nil {
-				var err error
-				tr, err = trackers.create(b.Thread, opts, onBlock)
-				if err != nil {
-					return results, err
+			n, ferr := fillBatch(src, bs, buf)
+			for bi := 0; bi < n; bi++ {
+				if opts.MaxBranches > 0 && branches >= opts.MaxBranches {
+					break stream
 				}
-			}
-			info, isCond = tr.Process(b)
-			// The warmup gate is identical to Run's: a record is
-			// measured iff at least Warmup conditional branches retired
-			// before it, and the same boundary gates numerator and
-			// denominator.
-			measured := branches >= opts.Warmup
-			if measured {
-				instructions += int64(b.Gap) + 1
-			}
-			if !isCond {
-				continue
-			}
-			for k := range members {
-				m := &members[k]
-				var pred bool
-				var snap predictor.Snapshot
-				if m.fused {
-					snap = m.fp.Lookup(&info)
-					pred = snap.Final
-				} else {
-					pred = m.p.Predict(&info)
-				}
-				if measured && pred != b.Taken {
-					m.mispredicts++
-				}
-				switch {
-				case opts.UpdateDelay > 0:
-					// FIFO through the member's private ring, exactly
-					// as in Run: full ⇒ the oldest pending update
-					// retires and its slot is reused.
-					if m.count == len(m.ring) {
-						m.apply(&m.ring[m.head])
-						m.ring[m.head] = pendingUpdate{info: info, snap: snap, taken: b.Taken}
-						m.head++
-						if m.head == len(m.ring) {
-							m.head = 0
-						}
-					} else {
-						slot := m.head + m.count
-						if slot >= len(m.ring) {
-							slot -= len(m.ring)
-						}
-						m.ring[slot] = pendingUpdate{info: info, snap: snap, taken: b.Taken}
-						m.count++
+				b := buf[bi]
+				tr := trackers.lookup(b.Thread)
+				if tr == nil {
+					var err error
+					tr, err = trackers.create(b.Thread, opts, onBlock)
+					if err != nil {
+						return results, err
 					}
-				case m.fused:
-					m.fp.UpdateWith(snap, b.Taken)
-				default:
-					m.p.Update(&info, b.Taken)
 				}
+				info, isCond = tr.Process(b)
+				// The warmup gate is identical to Run's: a record is
+				// measured iff at least Warmup conditional branches retired
+				// before it, and the same boundary gates numerator and
+				// denominator.
+				measured := branches >= opts.Warmup
+				if measured {
+					instructions += int64(b.Gap) + 1
+				}
+				if !isCond {
+					continue
+				}
+				for k := range members {
+					m := &members[k]
+					var pred bool
+					var snap predictor.Snapshot
+					if m.fused {
+						snap = m.fp.Lookup(&info)
+						pred = snap.Final
+					} else {
+						pred = m.p.Predict(&info)
+					}
+					if measured && pred != b.Taken {
+						m.mispredicts++
+					}
+					switch {
+					case opts.UpdateDelay > 0:
+						// FIFO through the member's private ring, exactly
+						// as in Run: full ⇒ the oldest pending update
+						// retires and its slot is reused.
+						if m.count == len(m.ring) {
+							m.apply(&m.ring[m.head])
+							m.ring[m.head] = pendingUpdate{info: info, snap: snap, taken: b.Taken}
+							m.head++
+							if m.head == len(m.ring) {
+								m.head = 0
+							}
+						} else {
+							slot := m.head + m.count
+							if slot >= len(m.ring) {
+								slot -= len(m.ring)
+							}
+							m.ring[slot] = pendingUpdate{info: info, snap: snap, taken: b.Taken}
+							m.count++
+						}
+					case m.fused:
+						m.fp.UpdateWith(snap, b.Taken)
+					default:
+						m.p.Update(&info, b.Taken)
+					}
+				}
+				branches++
 			}
-			branches++
-		}
-		if ferr != nil {
-			if ferr != io.EOF {
-				srcErr = ferr
+			if ferr != nil {
+				if ferr != io.EOF {
+					srcErr = ferr
+				}
+				break
 			}
-			break
-		}
-		if n == 0 {
-			// A batch source returning no progress and no error would
-			// spin; treat it as end of stream defensively.
-			break
+			if n == 0 {
+				// A batch source returning no progress and no error would
+				// spin; treat it as end of stream defensively.
+				break
+			}
 		}
 	}
 	for k := range members {
@@ -383,9 +389,10 @@ func RunWarmEnsembleBenchmark(factory Factory, k int, prof workload.Profile, ins
 	}
 	wopts := opts
 	wopts.MaxBranches = warmBranches
-	// The warm run reads one record at a time and never over-reads, so
-	// the SAME generator continues seamlessly into the ensemble — no
-	// reposition step.
+	// The warm run never over-reads — the scalar loop reads one record
+	// at a time, and the batch path sizes its fills so it stops at the
+	// same record (see runBatchStream) — so the SAME generator continues
+	// seamlessly into the ensemble, no reposition step.
 	_, ck, err := RunCheckpoint(warm, g, wopts)
 	if err != nil {
 		return nil, fmt.Errorf("sim: warmup for %s: %w", prof.Name, err)

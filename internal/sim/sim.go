@@ -59,6 +59,15 @@ type Options struct {
 	// docs/PERFORMANCE.md, "Ensemble execution"); like Workers, it has no
 	// effect on a single Run.
 	Ensemble EnsembleMode
+	// Batch selects whether eligible runs use the data-oriented batch
+	// kernel: BatchAuto (the zero value) engages it when the predictor
+	// implements predictor.BatchPredictor, the source implements
+	// trace.BatchSource, UpdateDelay is 0 and the predictor does not
+	// observe fetch blocks; BatchOff forces the scalar fused path.
+	// Results are byte-identical in both modes (the batch differential
+	// suite pins that), so like Workers and Ensemble this is a schedule
+	// knob, excluded from cache keys.
+	Batch BatchMode
 	// Collect enables component attribution: when set and the predictor
 	// implements stats.Instrumented, Run turns its counters on before
 	// the stream and snapshots them into Result.Stats after. Collection
@@ -298,6 +307,18 @@ func run(p predictor.Predictor, src trace.Source, opts Options, resume *Checkpoi
 		}
 	}
 
+	// The batch kernel takes over the whole stream when the run is
+	// eligible (see internal/sim/batch.go for the eligibility argument);
+	// the result is byte-identical to the scalar loop below.
+	if bp, ok := p.(predictor.BatchPredictor); ok && opts.Batch != BatchOff && opts.UpdateDelay == 0 && onBlock == nil {
+		if bs, ok := src.(trace.BatchSource); ok {
+			if err := runBatchStream(bp, bs, opts, &res, &records, &trackers); err != nil {
+				return res, nil, err
+			}
+			return finishRun(p, src, opts, res, records, &trackers, ring, head, count, inst, doCapture, apply)
+		}
+	}
+
 	// info is hoisted out of the loop: its address is passed through
 	// interface calls, so a loop-local would escape and cost one heap
 	// allocation per branch. Hoisted, the whole run allocates it once.
@@ -369,6 +390,13 @@ func run(p predictor.Predictor, src trace.Source, opts Options, resume *Checkpoi
 			p.Update(&info, b.Taken)
 		}
 	}
+	return finishRun(p, src, opts, res, records, &trackers, ring, head, count, inst, doCapture, apply)
+}
+
+// finishRun is the common epilogue of the scalar and batch stream loops:
+// checkpoint capture, commit-delay ring drain, warmup clamp, attribution
+// snapshot, deferred source-error check, and the result sanity check.
+func finishRun(p predictor.Predictor, src trace.Source, opts Options, res Result, records int64, trackers *trackerTable, ring []pendingUpdate, head, count int, inst stats.Instrumented, doCapture bool, apply func(*pendingUpdate)) (Result, *Checkpoint, error) {
 	// Capture the checkpoint BEFORE the ring drains and before the warmup
 	// clamp: the pending updates belong to the continuation (a resumed run
 	// retires them through its own stream), and the resumed warmup gate
@@ -376,7 +404,7 @@ func run(p predictor.Predictor, src trace.Source, opts Options, resume *Checkpoi
 	var ck *Checkpoint
 	if doCapture {
 		var err error
-		ck, err = capture(p, opts, &trackers, ring, head, count, records, res)
+		ck, err = capture(p, opts, trackers, ring, head, count, records, res)
 		if err != nil {
 			return res, nil, err
 		}

@@ -58,35 +58,79 @@ func (f *Func) Hinv(x uint64) uint64 {
 	return ((y << 1) | b) & bitutil.Mask(f.n)
 }
 
-// apply runs g repeatedly, t times.
-func apply(g func(uint64) uint64, x uint64, t int) uint64 {
-	for i := 0; i < t; i++ {
-		x = g(x)
-	}
-	return x
-}
-
 // Index computes the bank index for the information vector v, of which the
 // low histPlusAddrLen bits are meaningful. The vector is XOR-folded into two
 // n-bit halves v1 (low) and v2 (high) and mixed with the bank-specific
-// bijections.
+// bijections. It evaluates through the compiled shift form (Compile), so
+// the per-branch cost is straight-line arithmetic.
 func (f *Func) Index(v uint64, vlen int) uint64 {
-	v &= bitutil.Mask(vlen)
-	v1 := v & bitutil.Mask(f.n)
-	v2 := bitutil.FoldXOR(v>>uint(f.n), vlen-f.n, f.n)
-	h1 := apply(f.H, v1, f.k+1)
-	h2 := apply(f.Hinv, v2, f.k+1)
-	return (h1 ^ h2 ^ v2) & bitutil.Mask(f.n)
+	c := f.Compile()
+	return c.Index(v, vlen)
 }
 
 // IndexPair is like Index but takes the two halves explicitly. Exposed for
 // tests of the dispersion property.
 func (f *Func) IndexPair(v1, v2 uint64) uint64 {
-	v1 &= bitutil.Mask(f.n)
-	v2 &= bitutil.Mask(f.n)
-	h1 := apply(f.H, v1, f.k+1)
-	h2 := apply(f.Hinv, v2, f.k+1)
-	return (h1 ^ h2 ^ v2) & bitutil.Mask(f.n)
+	c := f.Compile()
+	return c.IndexPair(v1, v2)
+}
+
+// Compiled is a skewing function precomputed into shift form: the
+// iterated H / Hinv applications are flattened into branchless
+// shift-and-conditional-XOR steps with the tap mask, index mask, and
+// repetition count baked into one value-type record. Evaluation is pure
+// straight-line arithmetic — no function-value dispatch per step (the
+// old apply(g, x, t) loop made an indirect call per application) and no
+// data-dependent branches (the conditional tap injection becomes a mask
+// formed from the decision bit). This is the form the batch index stage
+// of the 2Bc-gskew kernel runs over whole record chunks.
+//
+// Compiled is a plain value so predictors can embed it in fixed arrays
+// without pointer chasing.
+type Compiled struct {
+	n    int
+	reps int    // k+1 applications of H / Hinv
+	mask uint64 // Mask(n)
+	taps uint64
+}
+
+// Compile returns the precomputed shift form of f. The result is
+// immutable and safe for concurrent use.
+func (f *Func) Compile() Compiled {
+	return Compiled{n: f.n, reps: f.k + 1, mask: bitutil.Mask(f.n), taps: f.taps}
+}
+
+// Bits returns the index width of the compiled function.
+func (c *Compiled) Bits() int { return c.n }
+
+// IndexPair mixes the two n-bit halves exactly as Func.IndexPair:
+// H^(k+1)(v1) XOR Hinv^(k+1)(v2) XOR v2. Each H step is the branchless
+// Galois form x = (x>>1) ^ (taps & -(x&1)); each Hinv step extracts the
+// top bit, undoes the conditional tap injection, and shifts the bit back
+// in — see Func.H and Func.Hinv for the bijection argument.
+func (c *Compiled) IndexPair(v1, v2 uint64) uint64 {
+	h1 := v1 & c.mask
+	for i := 0; i < c.reps; i++ {
+		h1 = (h1 >> 1) ^ (c.taps & -(h1 & 1))
+	}
+	v2 &= c.mask
+	h2 := v2
+	top := uint(c.n - 1)
+	for i := 0; i < c.reps; i++ {
+		b := (h2 >> top) & 1
+		h2 = (((h2 ^ (c.taps & -b)) << 1) | b) & c.mask
+	}
+	return h1 ^ h2 ^ v2
+}
+
+// Index splits the information vector exactly as Func.Index — low n bits
+// as v1, the remaining vlen-n bits XOR-folded to n as v2 — and mixes the
+// halves with IndexPair.
+func (c *Compiled) Index(v uint64, vlen int) uint64 {
+	v &= bitutil.Mask(vlen)
+	v1 := v & c.mask
+	v2 := bitutil.FoldXOR(v>>uint(c.n), vlen-c.n, c.n)
+	return c.IndexPair(v1, v2)
 }
 
 // Bits returns the index width of the function.

@@ -219,6 +219,75 @@ func TestIndexPairMatchesIndexForShortVectors(t *testing.T) {
 	}
 }
 
+// refIndexPair recomputes the skewing function from the primitive
+// one-step H/Hinv bijections — the definition the compiled shift form
+// must reproduce bit for bit.
+func refIndexPair(f *Func, v1, v2 uint64) uint64 {
+	mask := bitutil.Mask(f.Bits())
+	h1, h2 := v1&mask, v2&mask
+	for i := 0; i <= f.Bank(); i++ {
+		h1 = f.H(h1)
+		h2 = f.Hinv(h2)
+	}
+	return h1 ^ h2 ^ v2&mask
+}
+
+func TestCompiledMatchesPrimitiveSteps(t *testing.T) {
+	// Exhaustive over both halves at a small width, for every bank depth.
+	for k, f := range MustFamily(6, 4) {
+		c := f.Compile()
+		if c.Bits() != 6 {
+			t.Fatalf("bank %d: Compiled.Bits = %d", k, c.Bits())
+		}
+		for v1 := uint64(0); v1 < 1<<6; v1++ {
+			for v2 := uint64(0); v2 < 1<<6; v2++ {
+				if got, want := c.IndexPair(v1, v2), refIndexPair(f, v1, v2); got != want {
+					t.Fatalf("bank %d: IndexPair(%#x, %#x) = %#x, want %#x", k, v1, v2, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestCompiledMatchesPrimitiveStepsRandom(t *testing.T) {
+	// Random halves across the width range, including unmasked high bits
+	// (Compiled must mask exactly like the primitive form).
+	for _, n := range []int{2, 5, 13, 16, 21, 35, 63} {
+		for k, f := range MustFamily(n, 3) {
+			c := f.Compile()
+			g := func(v1, v2 uint64) bool {
+				return c.IndexPair(v1, v2) == refIndexPair(f, v1, v2)
+			}
+			if err := quick.Check(g, nil); err != nil {
+				t.Errorf("width %d bank %d: %v", n, k, err)
+			}
+		}
+	}
+}
+
+func TestCompiledIndexMatchesFunc(t *testing.T) {
+	// Func.Index evaluates through Compile; pin the delegation (and the
+	// fold/split in Compiled.Index) against fresh compilations.
+	for _, f := range MustFamily(13, 3) {
+		c := f.Compile()
+		g := func(v uint64) bool {
+			return c.Index(v, 40) == f.Index(v, 40) && c.Index(v, 40) < 1<<13
+		}
+		if err := quick.Check(g, nil); err != nil {
+			t.Error(err)
+		}
+	}
+}
+
+func BenchmarkCompiledIndex(b *testing.B) {
+	c := MustFamily(16, 3)[2].Compile()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink ^= c.Index(uint64(i)*0x9e3779b97f4a7c15, 37)
+	}
+	_ = sink
+}
+
 func BenchmarkIndex(b *testing.B) {
 	f := MustFamily(16, 3)[2]
 	var sink uint64

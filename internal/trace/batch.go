@@ -41,6 +41,58 @@ func (s *Slice) NextBatch(dst []Branch) (int, error) {
 	return n, nil
 }
 
+// ReadBatch fills dst from src under the BatchSource contract whether or
+// not src implements it: a BatchSource is asked directly, anything else
+// is drained through Next with SourceErr resolving the end-of-stream
+// ambiguity. Batch consumers (the simulators) use it so every Source
+// looks batched; the fast path costs one type assertion per call.
+func ReadBatch(src Source, dst []Branch) (int, error) {
+	if bs, ok := src.(BatchSource); ok {
+		return bs.NextBatch(dst)
+	}
+	for i := range dst {
+		b, ok := src.Next()
+		if !ok {
+			if err := SourceErr(src); err != nil {
+				return i, err
+			}
+			if i == 0 {
+				return 0, io.EOF
+			}
+			return i, nil
+		}
+		dst[i] = b
+	}
+	return len(dst), nil
+}
+
+// NextBatch implements BatchSource, forwarding to the wrapped source and
+// rewriting the thread id on the returned prefix. Without this
+// pass-through, wrapping a batched source in ForceThread would silently
+// degrade every batch consumer to one-record Next calls.
+func (f *ForceThread) NextBatch(dst []Branch) (int, error) {
+	n, err := ReadBatch(f.Src, dst)
+	for i := 0; i < n; i++ {
+		dst[i].Thread = f.Thread
+	}
+	return n, err
+}
+
+// NextBatch implements BatchSource, clamping the read so the wrapped
+// source is never advanced past the limit — exactly Next's behavior,
+// which never pulls a record it would discard.
+func (l *Limit) NextBatch(dst []Branch) (int, error) {
+	if l.pos >= l.N {
+		return 0, io.EOF
+	}
+	if rem := l.N - l.pos; len(dst) > rem {
+		dst = dst[:rem]
+	}
+	n, err := ReadBatch(l.Src, dst)
+	l.pos += n
+	return n, err
+}
+
 // NextBatch implements BatchSource over the file decoder. Decode errors
 // are sticky and shared with Next/Err: a batch read that hits corruption
 // returns the intact prefix together with the error, and Err reports the
