@@ -4,7 +4,7 @@
 GO ?= go
 STATICCHECK_VERSION ?= 2025.1.1
 
-.PHONY: all build vet staticcheck test race bench bench-baseline bench-ensemble bench-kernel check report fuzz faultinject resume examples clean
+.PHONY: all build vet staticcheck test race bench bench-baseline bench-ensemble bench-kernel check report fuzz faultinject resume shard-gate examples clean
 
 all: build vet test
 
@@ -15,7 +15,8 @@ all: build vet test
 # ensemble results must be byte-identical to per-cell runs), the
 # resume-equivalence and cache-correctness suites (checkpointed-and-
 # resumed runs and cache hits must be byte-identical to straight
-# recomputation), the batch-kernel differential suite (runs routed through
+# recomputation), the sharded-sweep gate (split/merge byte-identical to
+# single-process, see shard-gate), the batch-kernel differential suite (runs routed through
 # LookupBatch/UpdateBatch must be byte-identical to the scalar fused
 # path), a snapshot-decode fuzz smoke, and benchmark smokes so neither
 # the testing.B harness nor the per-predictor microbenchmarks can rot.
@@ -32,6 +33,7 @@ check:
 	$(GO) test -run 'TestResume|TestWarmEnsemble' -count=1 .
 	$(GO) test -run 'TestCache|TestSweepWarmCacheZeroWork|TestUncacheable|TestSnapshotMutants|TestCheckpointMutants' -count=1 .
 	$(GO) test -count=1 ./internal/cache/ ./internal/snapshot/
+	$(MAKE) shard-gate
 	$(GO) test -fuzz FuzzSnapshotDecode -fuzztime 30s -run '^$$' .
 	$(GO) test -bench=Table1 -benchtime=1x -run '^$$' .
 	$(GO) test -bench=PredictUpdate -benchtime=100x -run '^$$' .
@@ -108,6 +110,17 @@ resume:
 	$(GO) test -run 'TestResume|TestWarmEnsemble|TestSnapshotMutants|TestCheckpointMutants' -count=1 -v .
 	$(GO) test -run 'TestCache|TestSweepWarmCacheZeroWork|TestUncacheable' -count=1 -v .
 	$(GO) test -count=1 ./internal/cache/ ./internal/snapshot/
+
+# Sharded-sweep determinism gate (docs/SHARDING.md): a small sweep split
+# three ways across sequential worker invocations and merged must be
+# byte-identical to the unsharded run (table and JSON), crash-recovered
+# workers must pay only for unfinished cells, incomplete merges must
+# fail loudly and typed, and the multi-process store discipline
+# (idempotent unlinks, no lost puts, stale-temp sweeping) must hold.
+shard-gate:
+	$(GO) test -run 'TestShard|TestAssign|TestPlan|TestMerge|TestManifest' -count=1 ./internal/shard/ ./cmd/ev8sweep/ ./internal/experiments/
+	$(GO) test -run 'TestCacheCrossProcessSharing' -count=1 .
+	$(GO) test -run 'TestTwoStoresOneDirHammer|TestOpenCollectsOrphanedTemps|TestPutEntryWorldReadable|TestReadErrorIsNotAMiss' -count=1 ./internal/cache/
 
 # Exhaustive trace-corruption suite: every prefix truncation and every
 # single-bit flip of a format-2 stream must surface a typed error.

@@ -9,9 +9,11 @@ package ev8pred_test
 
 import (
 	"context"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 
 	"ev8pred"
@@ -75,14 +77,14 @@ func TestCacheHitMatchesRecompute(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if hits, misses, puts := store.Counts(); hits != 0 || misses != int64(len(cells)) || puts != int64(len(cells)) {
+	if hits, misses, _, puts := store.Counts(); hits != 0 || misses != int64(len(cells)) || puts != int64(len(cells)) {
 		t.Fatalf("cold run counts = %d/%d/%d, want 0/%d/%d", hits, misses, puts, len(cells), len(cells))
 	}
 	warm, err := sim.RunCells(context.Background(), cells, instr, pool)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if hits, _, _ := store.Counts(); hits != int64(len(cells)) {
+	if hits, _, _, _ := store.Counts(); hits != int64(len(cells)) {
 		t.Fatalf("warm run scored %d hits, want %d", hits, len(cells))
 	}
 	sameResults(t, "warm vs cold", warm, cold)
@@ -146,11 +148,11 @@ func TestCacheNearMissKeys(t *testing.T) {
 		"profile":  {seed, instr},
 	}
 	for name, n := range near {
-		_, missesBefore, _ := store.Counts()
+		_, missesBefore, _, _ := store.Counts()
 		if _, err := sim.RunCells(context.Background(), []sim.Cell{n.cell}, n.instr, pool); err != nil {
 			t.Fatal(err)
 		}
-		hits, missesAfter, _ := store.Counts()
+		hits, missesAfter, _, _ := store.Counts()
 		if hits != 0 {
 			t.Fatalf("%s: near-miss key served a stale hit", name)
 		}
@@ -163,7 +165,7 @@ func TestCacheNearMissKeys(t *testing.T) {
 	if _, err := sim.RunCells(context.Background(), []sim.Cell{base}, instr, pool); err != nil {
 		t.Fatal(err)
 	}
-	if hits, _, _ := store.Counts(); hits != 1 {
+	if hits, _, _, _ := store.Counts(); hits != 1 {
 		t.Fatalf("exact re-run scored %d hits, want 1", hits)
 	}
 }
@@ -219,7 +221,7 @@ func TestCacheCorruptFallback(t *testing.T) {
 	if len(logged) == 0 || !strings.Contains(logged[0], "cache") {
 		t.Errorf("corruption not surfaced through Log: %q", logged)
 	}
-	if _, misses, puts := store.Counts(); misses != 2 || puts != 2 {
+	if _, misses, _, puts := store.Counts(); misses != 2 || puts != 2 {
 		t.Errorf("counts after corruption = misses %d puts %d, want 2/2 (refused entry recomputed and re-stored)", misses, puts)
 	}
 
@@ -229,7 +231,7 @@ func TestCacheCorruptFallback(t *testing.T) {
 		t.Fatal(err)
 	}
 	sameResults(t, "hit after re-store", again, cold)
-	if hits, _, _ := store.Counts(); hits != 1 {
+	if hits, _, _, _ := store.Counts(); hits != 1 {
 		t.Errorf("re-stored entry did not hit (hits=%d)", hits)
 	}
 }
@@ -269,7 +271,7 @@ func TestSweepWarmCacheZeroWork(t *testing.T) {
 		t.Fatal(err)
 	}
 	cold := run(coldStore)
-	if hits, misses, puts := coldStore.Counts(); hits != 0 || misses != 8 || puts != 8 {
+	if hits, misses, _, puts := coldStore.Counts(); hits != 0 || misses != 8 || puts != 8 {
 		t.Fatalf("cold sweep counts = %d/%d/%d, want 0/8/8", hits, misses, puts)
 	}
 
@@ -280,8 +282,8 @@ func TestSweepWarmCacheZeroWork(t *testing.T) {
 		t.Fatal(err)
 	}
 	warm := run(warmStore)
-	hits, misses, puts := warmStore.Counts()
-	if hits != 8 || misses != 0 || puts != 0 {
+	hits, misses, readErrs, puts := warmStore.Counts()
+	if hits != 8 || misses != 0 || readErrs != 0 || puts != 0 {
 		t.Fatalf("warm sweep counts = %d/%d/%d, want 8/0/0 (zero simulation work)", hits, misses, puts)
 	}
 	for i := range cold {
@@ -289,6 +291,98 @@ func TestSweepWarmCacheZeroWork(t *testing.T) {
 			t.Fatalf("point %d diverged: cold %+v warm %+v", i, cold[i], warm[i])
 		}
 		sameResults(t, "warm sweep point", warm[i].Results, cold[i].Results)
+	}
+}
+
+// TestCacheCrossProcessSharing is the multi-process differential: two
+// independent Store handles over ONE directory (the two-process topology
+// sharded sweeps run in, docs/SHARDING.md) race the same 8-cell sweep
+// concurrently. Both must finish with points byte-identical to a serial
+// uncached run, neither may observe a corrupt or unreadable entry, and
+// no Put may be lost — a warm re-run afterwards answers every cell from
+// the store.
+func TestCacheCrossProcessSharing(t *testing.T) {
+	const instr = 50_000
+	dir := t.TempDir()
+	xs := []int{8, 10, 12, 14}
+	gcc, err := ev8pred.BenchmarkByName("gcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	goProf, err := ev8pred.BenchmarkByName("go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	profs := []workload.Profile{gcc, goProf} // 4 values x 2 benchmarks = 8 cells
+	factory := func(h int) (predictor.Predictor, error) { return ev8pred.NewGshare(1<<12, h) }
+	opts := sim.Options{Mode: ev8pred.ModeGhist(), Warmup: 200}
+
+	serial, err := sweep.RunPool(factory, xs, profs, instr, opts, sim.PoolOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const procs = 2
+	stores := make([]*cache.Store, procs)
+	points := make([][]sweep.Point, procs)
+	logs := make([][]string, procs)
+	errs := make([]error, procs)
+	var wg sync.WaitGroup
+	for p := 0; p < procs; p++ {
+		stores[p], err = cache.Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			var mu sync.Mutex
+			pool := sim.PoolOptions{Workers: 2, Cache: stores[p], Log: func(format string, args ...interface{}) {
+				mu.Lock()
+				logs[p] = append(logs[p], fmt.Sprintf(format, args...))
+				mu.Unlock()
+			}}
+			points[p], errs[p] = sweep.RunPool(factory, xs, profs, instr, opts, pool)
+		}(p)
+	}
+	wg.Wait()
+
+	for p := 0; p < procs; p++ {
+		if errs[p] != nil {
+			t.Fatalf("store %d sweep: %v", p, errs[p])
+		}
+		for i := range serial {
+			if points[p][i].X != serial[i].X || points[p][i].Mean != serial[i].Mean {
+				t.Fatalf("store %d point %d diverged: %+v vs serial %+v", p, i, points[p][i], serial[i])
+			}
+			sameResults(t, fmt.Sprintf("store %d point %d", p, i), points[p][i].Results, serial[i].Results)
+		}
+		hits, misses, readErrs, puts := stores[p].Counts()
+		if readErrs != 0 {
+			t.Errorf("store %d observed %d read errors racing a sibling", p, readErrs)
+		}
+		if hits+misses != 8 || puts != misses {
+			t.Errorf("store %d counts = %d hits, %d misses, %d puts; want hits+misses=8 and one put per miss", p, hits, misses, puts)
+		}
+		for _, line := range logs[p] {
+			t.Errorf("store %d surfaced a diagnostic racing a sibling: %q", p, line)
+		}
+	}
+
+	// No lost Puts: a fresh handle answers the whole sweep from the store.
+	warmStore, err := cache.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := sweep.RunPool(factory, xs, profs, instr, opts, sim.PoolOptions{Workers: 2, Cache: warmStore})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits, misses, readErrs, puts := warmStore.Counts(); hits != 8 || misses != 0 || readErrs != 0 || puts != 0 {
+		t.Errorf("warm re-run counts = %d/%d/%d/%d, want 8/0/0/0 (a concurrent Put was lost)", hits, misses, readErrs, puts)
+	}
+	for i := range serial {
+		sameResults(t, fmt.Sprintf("warm point %d", i), warm[i].Results, serial[i].Results)
 	}
 }
 
@@ -325,8 +419,8 @@ func TestUncacheableCellsBypassStore(t *testing.T) {
 		t.Fatal(err)
 	}
 	sameResults(t, "uncacheable rerun", second, first)
-	if hits, misses, puts := store.Counts(); hits != 0 || misses != 0 || puts != 0 {
-		t.Errorf("uncacheable cells touched the store: %d/%d/%d", hits, misses, puts)
+	if hits, misses, readErrs, puts := store.Counts(); hits != 0 || misses != 0 || readErrs != 0 || puts != 0 {
+		t.Errorf("uncacheable cells touched the store: %d/%d/%d/%d", hits, misses, readErrs, puts)
 	}
 	if files, _ := filepath.Glob(filepath.Join(dir, "*")); len(files) != 0 {
 		t.Errorf("store not empty: %v", files)

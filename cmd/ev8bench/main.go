@@ -5,7 +5,7 @@
 //
 //	ev8bench [-experiment all|none|table1|table2|fig5|...|ablations|perf|smt|backup]
 //	         [-instructions N] [-benchmarks gcc,go,...] [-o report.txt]
-//	         [-j workers] [-ensemble auto|on|off] [-cache DIR] [-v]
+//	         [-j workers] [-ensemble auto|on|off] [-cache DIR] [-shard k/N] [-v]
 //	         [-stats] [-json stats.json] [-csv stats.csv]
 //	         [-expvar localhost:8080]
 //	         [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
@@ -27,6 +27,14 @@
 // instead of re-simulated, and fresh results are stored for next time. A
 // corrupt entry is refused, recomputed and replaced (-v reports it). The
 // report is byte-identical with caching on, off, cold or warm.
+//
+// -shard k/N (requires -cache) turns the run into one worker of a
+// sharded precompute (docs/SHARDING.md): each experiment's cell grid is
+// partitioned by the stable hash of the cells' cache keys, the worker
+// simulates only shard k's cells into the shared store, and its tables
+// show zeros elsewhere — they are cache fuel, not reading material. Once
+// every worker finishes, an unsharded run with the same -cache renders
+// every table from hits alone, byte-identical to a never-sharded run.
 //
 // -stats runs the component-attribution suite: the default EV8 predictor
 // over every selected benchmark with collection enabled, emitted as JSON
@@ -54,6 +62,7 @@ import (
 	"ev8pred/internal/frontend"
 	"ev8pred/internal/predictor"
 	"ev8pred/internal/report"
+	"ev8pred/internal/shard"
 	"ev8pred/internal/sim"
 	"ev8pred/internal/stats/live"
 	"ev8pred/internal/workload"
@@ -123,6 +132,7 @@ func run(args []string, out, errw io.Writer) error {
 		jsonPath     = fs.String("json", "", "write the -stats JSON to this file instead of the report stream")
 		csvPath      = fs.String("csv", "", "also write the -stats records as CSV to this file")
 		cacheDir     = fs.String("cache", "", "content-addressed result cache directory (e.g. "+cache.DefaultDir+"; empty = no caching)")
+		shardSpec    = fs.String("shard", "", "sharded precompute: simulate only shard k/N of each experiment's cell grid into the shared -cache store (docs/SHARDING.md)")
 		expvarAddr   = fs.String("expvar", "", "serve live expvar progress counters on this address (e.g. localhost:8080)")
 		cpuProfile   = fs.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
 		memProfile   = fs.String("memprofile", "", "write an allocation profile to this file at exit")
@@ -194,10 +204,22 @@ func run(args []string, out, errw io.Writer) error {
 		cfg.Cache = store
 		defer func() {
 			if *verbose {
-				hits, misses, puts := store.Counts()
-				fmt.Fprintf(errw, "cache: %d hits, %d misses, %d stored (%s)\n", hits, misses, puts, store.Dir())
+				hits, misses, readErrs, puts := store.Counts()
+				fmt.Fprintf(errw, "cache: %d hits, %d misses, %d read errors, %d stored (%s)\n",
+					hits, misses, readErrs, puts, store.Dir())
 			}
 		}()
+	}
+	if *shardSpec != "" {
+		spec, err := shard.ParseSpec(*shardSpec)
+		if err != nil {
+			return err
+		}
+		if cfg.Cache == nil {
+			return fmt.Errorf("-shard requires -cache: the shared store is how precompute workers hand results to each other")
+		}
+		cfg.Shard, cfg.Shards = spec.Index, spec.Count
+		fmt.Fprintf(errw, "ev8bench: precompute worker %s: tables below cover only this shard's cells (zeros elsewhere); render from an unsharded -cache run once every worker finishes\n", spec)
 	}
 	if *expvarAddr != "" {
 		lv := live.New("ev8bench")

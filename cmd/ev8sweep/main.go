@@ -30,9 +30,26 @@
 // points. -v prints the hit/miss summary and any refused (corrupt)
 // entries to stderr. The table is byte-identical with caching on, off,
 // cold or warm.
+//
+// One sweep can be spread across processes and machines
+// (docs/SHARDING.md). A worker simulates only its share of the cells,
+// handing results to the others through the shared store, and records a
+// completion manifest:
+//
+//	ev8sweep -shard 0/3 -manifest MDIR -cache DIR [sweep flags]
+//
+// A coordinator — run with the SAME sweep flags — verifies every shard
+// completed and emits output byte-identical to an unsharded run:
+//
+//	ev8sweep -merge MDIR -cache DIR [sweep flags]
+//
+// A worker killed mid-run is simply re-run: cells it had completed are
+// answered from the store, so the restart pays only for the remainder.
+// An incomplete merge fails loudly, naming the missing cells and shard.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -47,6 +64,7 @@ import (
 	"ev8pred/internal/predictor/gshare"
 	"ev8pred/internal/predictor/perceptron"
 	"ev8pred/internal/report"
+	"ev8pred/internal/shard"
 	"ev8pred/internal/sim"
 	"ev8pred/internal/sweep"
 	"ev8pred/internal/workload"
@@ -75,6 +93,9 @@ func run(args []string, out io.Writer) error {
 		cacheDir     = fs.String("cache", "", "content-addressed result cache directory (e.g. "+cache.DefaultDir+"; empty = no caching)")
 		verbose      = fs.Bool("v", false, "print harness diagnostics (cache hit/miss summary, refused entries) to stderr")
 		jsonPath     = fs.String("json", "", "emit per-cell results as JSON to this file ('-' = stdout, replacing the table)")
+		shardSpec    = fs.String("shard", "", "worker mode: simulate only shard k/N of the sweep's cells (requires -cache and -manifest; docs/SHARDING.md)")
+		manifestDir  = fs.String("manifest", "", "directory for shard completion manifests (worker mode, with -shard)")
+		mergeDir     = fs.String("merge", "", "coordinator mode: merge a completed sharded sweep from this manifest directory (requires -cache and the same sweep flags the workers ran)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -135,16 +156,67 @@ func run(args []string, out io.Writer) error {
 		pool.Cache = store
 		defer func() {
 			if *verbose {
-				hits, misses, puts := store.Counts()
-				fmt.Fprintf(os.Stderr, "ev8sweep: cache: %d hits, %d misses, %d stored (%s)\n",
-					hits, misses, puts, store.Dir())
+				hits, misses, readErrs, puts := store.Counts()
+				fmt.Fprintf(os.Stderr, "ev8sweep: cache: %d hits, %d misses, %d read errors, %d stored (%s)\n",
+					hits, misses, readErrs, puts, store.Dir())
 			}
 		}()
 	}
-	pts, err := sweep.RunPool(factory, xs, profsList, *instructions,
-		sim.Options{Mode: mode, Workers: *workers, Collect: *collect, Ensemble: ensembleMode}, pool)
-	if err != nil {
-		return err
+	opts := sim.Options{Mode: mode, Workers: *workers, Collect: *collect, Ensemble: ensembleMode}
+
+	var pts []sweep.Point
+	switch {
+	case *shardSpec != "" && *mergeDir != "":
+		return fmt.Errorf("-shard (worker) and -merge (coordinator) are mutually exclusive")
+	case *shardSpec != "":
+		// Worker mode: simulate this shard's cells through the shared
+		// store, write the completion manifest, and print a summary — no
+		// table; only the merge sees the whole sweep.
+		if pool.Cache == nil {
+			return fmt.Errorf("-shard requires -cache: the shared store is how shards hand results to the merge")
+		}
+		if *manifestDir == "" {
+			return fmt.Errorf("-shard requires -manifest (where to record this shard's completion)")
+		}
+		spec, err := shard.ParseSpec(*shardSpec)
+		if err != nil {
+			return err
+		}
+		plan, err := shard.NewPlan(factory, xs, profsList, *instructions, opts)
+		if err != nil {
+			return err
+		}
+		owned, err := shard.RunShard(context.Background(), plan, spec, *instructions, pool, *manifestDir)
+		if err != nil {
+			return err
+		}
+		hits, _, _, puts := pool.Cache.Counts()
+		fmt.Fprintf(out, "shard %s: %d of %d cells complete (%d answered from cache, %d computed and stored); manifest %s\n",
+			spec, len(owned), len(plan.Cells), hits, puts, shard.ManifestPath(*manifestDir, spec))
+		return nil
+	case *mergeDir != "":
+		// Coordinator mode: verify every shard completed and reassemble
+		// the sweep from the store — output below is byte-identical to an
+		// unsharded run.
+		if pool.Cache == nil {
+			return fmt.Errorf("-merge requires -cache: the store holds the shards' results")
+		}
+		plan, err := shard.NewPlan(factory, xs, profsList, *instructions, opts)
+		if err != nil {
+			return err
+		}
+		rs, err := shard.Merge(plan, *mergeDir, pool.Cache)
+		if err != nil {
+			return err
+		}
+		if pts, err = sweep.Points(xs, profsList, rs); err != nil {
+			return err
+		}
+	default:
+		var err error
+		if pts, err = sweep.RunPool(factory, xs, profsList, *instructions, opts, pool); err != nil {
+			return err
+		}
 	}
 	title := fmt.Sprintf("%s sweep: %s (%s info vector, %d instr/bench)",
 		*scheme, *param, *modeName, *instructions)

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"fmt"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -98,5 +100,89 @@ func TestRunEnsembleModesIdenticalTable(t *testing.T) {
 	var sb strings.Builder
 	if err := run([]string{"-values", "4", "-ensemble", "nonesuch"}, &sb); err == nil {
 		t.Error("unknown ensemble mode accepted")
+	}
+}
+
+// shardBaseArgs is the small sweep the CLI sharding tests (and the make
+// shard-gate target) run: 3 values x 2 benchmarks = 6 cells.
+var shardBaseArgs = []string{
+	"-scheme", "gshare", "-param", "history", "-values", "6,10,14",
+	"-benchmarks", "li,go", "-instructions", "50000",
+}
+
+// shardRun invokes the CLI and returns its stdout.
+func shardRun(t *testing.T, extra ...string) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := run(append(append([]string{}, shardBaseArgs...), extra...), &sb); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}
+
+// TestShardGateThreeWayMergeMatchesUnsharded is the shard gate: the same
+// sweep split across three sequential worker invocations and merged must
+// emit a table AND a JSON stream byte-identical to the single-process
+// run — the CLI-level form of the merge-determinism guarantee.
+func TestShardGateThreeWayMergeMatchesUnsharded(t *testing.T) {
+	unshardedTable := shardRun(t)
+	unshardedJSON := shardRun(t, "-json", "-")
+
+	cacheDir := filepath.Join(t.TempDir(), "store")
+	manifestDir := filepath.Join(t.TempDir(), "manifests")
+	for k := 0; k < 3; k++ {
+		out := shardRun(t, "-cache", cacheDir, "-shard", fmt.Sprintf("%d/3", k), "-manifest", manifestDir)
+		if !strings.Contains(out, fmt.Sprintf("shard %d/3:", k)) || !strings.Contains(out, "manifest") {
+			t.Errorf("worker %d summary: %q", k, out)
+		}
+		if strings.Contains(out, "MEAN") {
+			t.Errorf("worker %d printed a sweep table: %q", k, out)
+		}
+	}
+
+	mergedTable := shardRun(t, "-cache", cacheDir, "-merge", manifestDir)
+	if mergedTable != unshardedTable {
+		t.Errorf("merged table differs from the unsharded run:\n--- merged\n%s\n--- unsharded\n%s", mergedTable, unshardedTable)
+	}
+	mergedJSON := shardRun(t, "-cache", cacheDir, "-merge", manifestDir, "-json", "-")
+	if mergedJSON != unshardedJSON {
+		t.Errorf("merged JSON differs from the unsharded run:\n--- merged\n%s\n--- unsharded\n%s", mergedJSON, unshardedJSON)
+	}
+}
+
+// TestShardFlagValidation pins the CLI contract: worker and coordinator
+// modes need the store, the worker needs a manifest directory, the two
+// modes are exclusive, bad specs are rejected, and a merge over an
+// incomplete sweep fails loudly naming what is missing.
+func TestShardFlagValidation(t *testing.T) {
+	var sb strings.Builder
+	args := func(extra ...string) []string { return append(append([]string{}, shardBaseArgs...), extra...) }
+	mdir := t.TempDir()
+	cdir := filepath.Join(t.TempDir(), "store")
+
+	if err := run(args("-shard", "0/3", "-manifest", mdir), &sb); err == nil || !strings.Contains(err.Error(), "-cache") {
+		t.Errorf("-shard without -cache: %v", err)
+	}
+	if err := run(args("-shard", "0/3", "-cache", cdir), &sb); err == nil || !strings.Contains(err.Error(), "-manifest") {
+		t.Errorf("-shard without -manifest: %v", err)
+	}
+	if err := run(args("-merge", mdir), &sb); err == nil || !strings.Contains(err.Error(), "-cache") {
+		t.Errorf("-merge without -cache: %v", err)
+	}
+	if err := run(args("-shard", "0/3", "-merge", mdir, "-cache", cdir, "-manifest", mdir), &sb); err == nil || !strings.Contains(err.Error(), "mutually exclusive") {
+		t.Errorf("-shard with -merge: %v", err)
+	}
+	if err := run(args("-shard", "3/3", "-cache", cdir, "-manifest", mdir), &sb); err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Errorf("out-of-range spec: %v", err)
+	}
+
+	// One worker of two, then a premature merge: loud, typed, named.
+	sb.Reset()
+	if err := run(args("-cache", cdir, "-shard", "0/2", "-manifest", mdir), &sb); err != nil {
+		t.Fatal(err)
+	}
+	err := run(args("-cache", cdir, "-merge", mdir), &sb)
+	if err == nil || !strings.Contains(err.Error(), "incomplete") || !strings.Contains(err.Error(), "shard 1/2") {
+		t.Errorf("premature merge: %v", err)
 	}
 }

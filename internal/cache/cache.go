@@ -20,6 +20,20 @@
 // unlinked on detection so it cannot re-fire on every run. Writes are
 // atomic (temp file + rename into place), so a crashed or killed run
 // never leaves a partially written entry behind.
+//
+// # Multi-process sharing
+//
+// One directory may be shared by any number of Store handles in any
+// number of processes — that is how sweep shards coordinate
+// (docs/SHARDING.md). The store therefore assumes nothing a single
+// process could get away with: published entries are world-readable, not
+// CreateTemp-private; the corrupt-entry unlink is idempotent (two readers
+// detecting the same bad file race on os.Remove, and the loser's ENOENT
+// means the work is done, not that anything failed); temp files orphaned
+// by killed runs are swept on Open, but only once they are old enough
+// that they cannot be another process's in-flight Put; and a
+// present-but-unreadable entry is accounted as a read error, never
+// silently as a miss.
 package cache
 
 import (
@@ -32,6 +46,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync/atomic"
+	"time"
 
 	"ev8pred/internal/snapshot"
 	"ev8pred/internal/stats"
@@ -100,16 +115,27 @@ type Entry struct {
 }
 
 // Store is an on-disk result cache rooted at one directory. It is safe
-// for concurrent use: entries are immutable once written, writes are
-// atomic renames, and the hit/miss/put counters are atomic.
+// for concurrent use — by goroutines sharing one Store and by Stores in
+// different processes sharing one directory: entries are immutable once
+// written, writes are atomic renames, the corrupt-entry unlink is
+// idempotent, and the hit/miss/error/put counters are atomic.
 type Store struct {
-	dir    string
-	hits   atomic.Int64
-	misses atomic.Int64
-	puts   atomic.Int64
+	dir      string
+	hits     atomic.Int64
+	misses   atomic.Int64
+	readErrs atomic.Int64
+	puts     atomic.Int64
 }
 
-// Open creates (if needed) and opens a store rooted at dir.
+// staleTempAge is how old an in-flight `.put-*` temp file must be before
+// Open treats it as the orphan of a killed run and collects it. Entries
+// are kilobytes, so a healthy Put lives milliseconds; an hour is far past
+// any live write yet short enough that a store shared across repeated
+// kill-and-resume shard runs does not accumulate garbage forever.
+const staleTempAge = time.Hour
+
+// Open creates (if needed) and opens a store rooted at dir, collecting
+// any temp files orphaned there by killed runs.
 func Open(dir string) (*Store, error) {
 	if dir == "" {
 		return nil, fmt.Errorf("cache: empty directory")
@@ -117,17 +143,43 @@ func Open(dir string) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("cache: %w", err)
 	}
+	sweepStaleTemps(dir)
 	return &Store{dir: dir}, nil
+}
+
+// sweepStaleTemps removes `.put-*` temp files orphaned by killed runs —
+// exactly the kill-and-resume flow sweep sharding makes routine. Only
+// temps older than staleTempAge go: a fresh temp may be another process's
+// in-flight Put, and unlinking it would make that writer's rename fail.
+// Failures are ignored; the sweep is best-effort hygiene, and a
+// concurrent Open may have collected a temp first.
+func sweepStaleTemps(dir string) {
+	names, err := filepath.Glob(filepath.Join(dir, ".put-*"))
+	if err != nil {
+		return
+	}
+	for _, name := range names {
+		fi, err := os.Lstat(name)
+		if err != nil || !fi.Mode().IsRegular() {
+			continue
+		}
+		if time.Since(fi.ModTime()) >= staleTempAge {
+			os.Remove(name)
+		}
+	}
 }
 
 // Dir returns the store's root directory.
 func (s *Store) Dir() string { return s.dir }
 
-// Counts returns how many Gets hit, how many missed, and how many entries
-// were Put over this store's lifetime (the zero-simulation-work test
-// asserts a warm re-run is all hits and no puts).
-func (s *Store) Counts() (hits, misses, puts int64) {
-	return s.hits.Load(), s.misses.Load(), s.puts.Load()
+// Counts returns how many Gets hit, how many found no entry, how many
+// failed to read a present entry (permissions, I/O — NOT misses: the
+// entry exists and recomputing it is waste the caller may want to know
+// about), and how many entries were Put over this store's lifetime (the
+// zero-simulation-work test asserts a warm re-run is all hits and no
+// puts).
+func (s *Store) Counts() (hits, misses, readErrors, puts int64) {
+	return s.hits.Load(), s.misses.Load(), s.readErrs.Load(), s.puts.Load()
 }
 
 // path maps a key to its entry file.
@@ -151,7 +203,11 @@ func (s *Store) Get(k Key) (*Entry, bool, error) {
 		return nil, false, nil
 	}
 	if err != nil {
-		s.misses.Add(1)
+		// The entry exists but could not be read (permissions, I/O). That
+		// is not a miss — counting it as one makes an unreadable shared
+		// store indistinguishable from a cold one — and the file is left
+		// in place: it may be perfectly intact for the next reader.
+		s.readErrs.Add(1)
 		return nil, false, fmt.Errorf("cache: reading %s: %w", path, err)
 	}
 	e, err := decodeEntry(data)
@@ -160,11 +216,24 @@ func (s *Store) Get(k Key) (*Entry, bool, error) {
 	}
 	if err != nil {
 		s.misses.Add(1)
-		os.Remove(path)
+		if rerr := removeEntry(path); rerr != nil {
+			err = fmt.Errorf("%w (unlink failed: %v)", err, rerr)
+		}
 		return nil, false, fmt.Errorf("cache: %s: %w", filepath.Base(path), err)
 	}
 	s.hits.Add(1)
 	return e, true, nil
+}
+
+// removeEntry unlinks a store file idempotently. With several processes
+// sharing one directory, two readers can detect the same corrupt entry
+// and race on the unlink; the loser's ENOENT means the file is already
+// gone — the desired state — not that anything failed.
+func removeEntry(path string) error {
+	if err := os.Remove(path); err != nil && !errors.Is(err, os.ErrNotExist) {
+		return err
+	}
+	return nil
 }
 
 // Put stores the entry under its key, atomically: the bytes land in a
@@ -187,6 +256,12 @@ func (s *Store) Put(e *Entry) error {
 	cerr := tmp.Close()
 	if werr == nil {
 		werr = cerr
+	}
+	if werr == nil {
+		// CreateTemp makes the file 0600 — right for a private temp, wrong
+		// for the published entry: a store shared over a common mount must
+		// be readable by every collaborating process and user.
+		werr = os.Chmod(tmp.Name(), 0o644)
 	}
 	if werr == nil {
 		werr = os.Rename(tmp.Name(), path)

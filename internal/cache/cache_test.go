@@ -6,7 +6,9 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"ev8pred/internal/stats"
 	"ev8pred/internal/trace/faultinject"
@@ -52,8 +54,8 @@ func TestRoundTrip(t *testing.T) {
 	if got.Stats == nil || len(*got.Stats) != 2 || (*got.Stats)[0] != (*want.Stats)[0] || (*got.Stats)[1] != (*want.Stats)[1] {
 		t.Errorf("stats changed across the store: %+v", got.Stats)
 	}
-	if hits, misses, puts := s.Counts(); hits != 1 || misses != 1 || puts != 1 {
-		t.Errorf("counts = %d/%d/%d, want 1/1/1", hits, misses, puts)
+	if hits, misses, readErrs, puts := s.Counts(); hits != 1 || misses != 1 || readErrs != 0 || puts != 1 {
+		t.Errorf("counts = %d/%d/%d/%d, want 1/1/0/1", hits, misses, readErrs, puts)
 	}
 
 	// A nil-Stats entry must come back nil, not empty.
@@ -211,5 +213,198 @@ func TestPutIsAtomic(t *testing.T) {
 	got, hit, err := s.Get(k)
 	if err != nil || !hit || got.Mispredicts != 99 {
 		t.Fatalf("re-put not visible: hit=%v err=%v entry=%+v", hit, err, got)
+	}
+}
+
+// TestPutEntryWorldReadable is the shared-mount regression: CreateTemp
+// makes the temp 0600, and renaming it into place unchanged would publish
+// entries only their writer can read. A published entry must be 0644.
+func TestPutEntryWorldReadable(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := testKey("gcc")
+	if err := s.Put(testEntry(k)); err != nil {
+		t.Fatal(err)
+	}
+	fi, err := os.Stat(s.path(k))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if perm := fi.Mode().Perm(); perm != 0o644 {
+		t.Errorf("published entry mode = %o, want 644", perm)
+	}
+}
+
+// TestOpenCollectsOrphanedTemps pins the kill-and-resume hygiene: a
+// `.put-*` temp abandoned by a killed run is collected on the next Open,
+// while a fresh temp — possibly another process's in-flight Put — and
+// real entries survive.
+func TestOpenCollectsOrphanedTemps(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := testKey("gcc")
+	if err := s.Put(testEntry(k)); err != nil {
+		t.Fatal(err)
+	}
+
+	stale := filepath.Join(dir, ".put-stale123")
+	fresh := filepath.Join(dir, ".put-fresh456")
+	for _, p := range []string{stale, fresh} {
+		if err := os.WriteFile(p, []byte("partial entry bytes"), 0o600); err != nil {
+			t.Fatal(err)
+		}
+	}
+	old := time.Now().Add(-2 * staleTempAge)
+	if err := os.Chtimes(stale, old, old); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := Open(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(stale); !errors.Is(err, os.ErrNotExist) {
+		t.Errorf("stale temp not collected (stat: %v)", err)
+	}
+	if _, err := os.Stat(fresh); err != nil {
+		t.Errorf("fresh in-flight temp collected: %v", err)
+	}
+	if _, hit, err := s.Get(k); !hit || err != nil {
+		t.Errorf("real entry lost to the sweep: hit=%v err=%v", hit, err)
+	}
+}
+
+// TestReadErrorIsNotAMiss pins the Counts distinction: a present entry
+// that cannot be read (here: the entry path is a directory, a reliable
+// read failure even when the tests run as root) is a read error, not a
+// miss, and the file is left in place rather than speculatively removed.
+func TestReadErrorIsNotAMiss(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := testKey("gcc")
+	if err := os.Mkdir(s.path(k), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	e, hit, gerr := s.Get(k)
+	if hit || e != nil {
+		t.Fatalf("unreadable entry served as a hit: %+v", e)
+	}
+	if gerr == nil {
+		t.Fatal("unreadable entry produced no error")
+	}
+	if errors.Is(gerr, ErrCorrupt) {
+		t.Errorf("I/O failure misreported as corruption: %v", gerr)
+	}
+	if hits, misses, readErrs, puts := s.Counts(); hits != 0 || misses != 0 || readErrs != 1 || puts != 0 {
+		t.Errorf("counts = %d/%d/%d/%d, want 0/0/1/0 (read error, not miss)", hits, misses, readErrs, puts)
+	}
+	if _, err := os.Stat(s.path(k)); err != nil {
+		t.Errorf("unreadable entry was removed: %v", err)
+	}
+}
+
+// TestTwoStoresOneDirHammer is the cross-process concurrency regression:
+// two Store handles on one directory, hammered by goroutines, must behave
+// like one shared cache. Phase 1 races many readers over one corrupt
+// entry — every reader sees a clean miss or an ErrCorrupt refusal, never
+// a spurious unlink error from losing the os.Remove race. Phase 2 races
+// duplicate Puts against Gets — every Get sees a miss or the intact
+// entry, and the store ends with exactly one entry file and no temps.
+func TestTwoStoresOneDirHammer(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stores := []*Store{s1, s2}
+
+	// Phase 1: shared corrupt entry, concurrent detection and unlink.
+	corrupt := testKey("gcc")
+	if err := os.WriteFile(s1.path(corrupt), []byte("not an entry"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	const readers = 16
+	var (
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		badErrs []error
+	)
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func(s *Store) {
+			defer wg.Done()
+			e, hit, gerr := s.Get(corrupt)
+			if hit || e != nil || (gerr != nil && !errors.Is(gerr, ErrCorrupt)) ||
+				(gerr != nil && strings.Contains(gerr.Error(), "unlink failed")) {
+				mu.Lock()
+				badErrs = append(badErrs, fmt.Errorf("hit=%v entry=%v err=%w", hit, e, gerr))
+				mu.Unlock()
+			}
+		}(stores[i%len(stores)])
+	}
+	wg.Wait()
+	for _, e := range badErrs {
+		t.Errorf("corrupt-entry race: %v", e)
+	}
+	if _, err := os.Stat(s1.path(corrupt)); !errors.Is(err, os.ErrNotExist) {
+		t.Errorf("corrupt entry survived the hammer (stat: %v)", err)
+	}
+
+	// Phase 2: duplicate Puts racing Gets on a fresh key.
+	k := testKey("go")
+	want := testEntry(k)
+	const pairs = 16
+	for i := 0; i < pairs; i++ {
+		wg.Add(2)
+		go func(s *Store) {
+			defer wg.Done()
+			if err := s.Put(want); err != nil {
+				mu.Lock()
+				badErrs = append(badErrs, fmt.Errorf("put: %w", err))
+				mu.Unlock()
+			}
+		}(stores[i%len(stores)])
+		go func(s *Store) {
+			defer wg.Done()
+			e, hit, gerr := s.Get(k)
+			if gerr != nil || (hit && e.Mispredicts != want.Mispredicts) {
+				mu.Lock()
+				badErrs = append(badErrs, fmt.Errorf("get: hit=%v err=%w entry=%+v", hit, gerr, e))
+				mu.Unlock()
+			}
+		}(stores[(i+1)%len(stores)])
+	}
+	wg.Wait()
+	for _, e := range badErrs {
+		t.Errorf("put/get race: %v", e)
+	}
+	if _, hit, err := s2.Get(k); !hit || err != nil {
+		t.Fatalf("entry not readable after the hammer: hit=%v err=%v", hit, err)
+	}
+	files, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var entryFiles int
+	for _, de := range files {
+		if strings.HasPrefix(de.Name(), ".put-") {
+			t.Errorf("temp file left behind: %s", de.Name())
+		}
+		if filepath.Ext(de.Name()) == ".ev8c" {
+			entryFiles++
+		}
+	}
+	if entryFiles != 1 {
+		t.Errorf("%d entry files after duplicate puts of one key, want 1", entryFiles)
 	}
 }

@@ -19,6 +19,7 @@ import (
 
 	"ev8pred/internal/cache"
 	"ev8pred/internal/report"
+	"ev8pred/internal/shard"
 	"ev8pred/internal/sim"
 	"ev8pred/internal/workload"
 )
@@ -52,6 +53,19 @@ type Config struct {
 	// Log, if non-nil, receives harness diagnostics (a corrupt cache
 	// entry refused and recomputed, a result that could not be stored).
 	Log func(format string, args ...interface{})
+	// Shard and Shards, when Shards > 1, turn the run into one worker of
+	// a sharded precompute (docs/SHARDING.md): the cell-based fan-outs —
+	// the (factory × benchmark) grids behind the tables and figures —
+	// simulate only the cells shard Shard of Shards owns, assigned by the
+	// same stable hash of the cells' cache keys the sweep sharding layer
+	// uses (internal/shard), and hand their results to the other
+	// participants through the shared Cache (required). Cells a worker
+	// skips come back as zero Results, so a worker's tables are cache
+	// fuel, not reading material; a final unsharded run over the same
+	// store renders every table from hits alone. Generators that are not
+	// plain cell grids (SMT interleavings, front-end measurements,
+	// trace statistics) run in full on every worker.
+	Shard, Shards int
 }
 
 // pool returns the fan-out configuration shared by every generator.
@@ -134,8 +148,62 @@ func IDs() []string {
 // per-benchmark results in benchmark order. Cells fan out through the
 // harness pool (cfg.Workers).
 func suite(cfg Config, opts sim.Options, factory sim.Factory) ([]sim.Result, error) {
-	return sim.RunCells(context.Background(),
-		sim.SuiteCells(factory, cfg.Benchmarks, opts), cfg.Instructions, cfg.pool())
+	return runCells(cfg, sim.SuiteCells(factory, cfg.Benchmarks, opts))
+}
+
+// runCells is the cell fan-out every grid-shaped generator goes through.
+// Unsharded it is sim.RunCells; as a sharded-precompute worker
+// (cfg.Shards > 1) it simulates only the cells this shard owns — chosen
+// by the same stable hash of the cells' cache keys internal/shard uses
+// for sweeps, so the partition is identical on every worker — through
+// the shared store, and returns zero Results for the rest. A cell
+// without a canonical cache key cannot be handed to the other workers,
+// so sharding refuses it loudly instead of silently computing it
+// everywhere or nowhere.
+func runCells(cfg Config, cells []sim.Cell) ([]sim.Result, error) {
+	if cfg.Shards <= 1 {
+		return sim.RunCells(context.Background(), cells, cfg.Instructions, cfg.pool())
+	}
+	if cfg.Shard < 0 || cfg.Shard >= cfg.Shards {
+		return nil, fmt.Errorf("experiments: shard %d out of range for %d shards", cfg.Shard, cfg.Shards)
+	}
+	if cfg.Cache == nil {
+		return nil, fmt.Errorf("experiments: sharded precompute requires a shared Cache — the store is how shards hand results to each other")
+	}
+	owned := make([]sim.Cell, 0, len(cells)/cfg.Shards+1)
+	ownedAt := make([]int, 0, cap(owned))
+	for i, c := range cells {
+		k, ok, err := sim.CellKey(c, cfg.Instructions)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: cell %d: %w", i, err)
+		}
+		if !ok {
+			return nil, fmt.Errorf("experiments: cell %d (%s on %s) has no canonical configuration key, so no shard could answer for it through the shared store", i, describeCell(c), c.Profile.Name)
+		}
+		if shard.Assign(k.Hash(), cfg.Shards) == cfg.Shard {
+			owned = append(owned, c)
+			ownedAt = append(ownedAt, i)
+		}
+	}
+	rs, err := sim.RunCells(context.Background(), owned, cfg.Instructions, cfg.pool())
+	if err != nil {
+		return nil, err
+	}
+	full := make([]sim.Result, len(cells))
+	for j, i := range ownedAt {
+		full[i] = rs[j]
+	}
+	return full, nil
+}
+
+// describeCell names a cell's predictor for error messages, tolerating
+// factories that fail (the name is only for diagnostics).
+func describeCell(c sim.Cell) string {
+	p, err := c.Factory()
+	if err != nil || p == nil {
+		return "predictor"
+	}
+	return p.Name()
 }
 
 // column couples one table column (or ablation row) with its simulation
@@ -160,7 +228,7 @@ func runColumns(cfg Config, cols []column) (map[string][]sim.Result, error) {
 			cells = append(cells, sim.Cell{Factory: col.factory, Profile: prof, Opts: col.opts})
 		}
 	}
-	rs, err := sim.RunCells(context.Background(), cells, cfg.Instructions, cfg.pool())
+	rs, err := runCells(cfg, cells)
 	if err != nil {
 		return nil, err
 	}

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"testing"
 
+	"ev8pred/internal/cache"
 	"ev8pred/internal/core"
 	"ev8pred/internal/frontend"
 	"ev8pred/internal/predictor"
@@ -389,6 +390,92 @@ func TestProgressEventsCoverAllCells(t *testing.T) {
 	// fig10: 2 columns x 2 benchmarks.
 	if events != 4 {
 		t.Errorf("progress events = %d, want 4", events)
+	}
+}
+
+// TestShardedPrecomputeFillsCache is the experiments-level sharding
+// contract: three precompute workers over one shared store simulate
+// disjoint, covering subsets of an experiment's cell grid, and a final
+// unsharded run over that store renders the table entirely from cache
+// hits, byte-identical to a never-sharded, never-cached run.
+func TestShardedPrecomputeFillsCache(t *testing.T) {
+	e, err := ByID("fig10") // 2 columns x 2 benchmarks = 4 cells
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := testConfig("li", "go")
+	base.Instructions = 100_000
+
+	tbl, err := e.Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := tbl.String()
+
+	dir := t.TempDir()
+	var mu sync.Mutex
+	simulated := 0
+	for k := 0; k < 3; k++ {
+		store, err := cache.Open(dir) // fresh handle per worker, one directory
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := base
+		cfg.Cache = store
+		cfg.Shard, cfg.Shards = k, 3
+		cfg.Progress = func(sim.CellDone) {
+			mu.Lock()
+			simulated++
+			mu.Unlock()
+		}
+		if _, err := e.Run(cfg); err != nil {
+			t.Fatalf("worker %d/3: %v", k, err)
+		}
+	}
+	// Disjoint and covering: across the three workers every cell of the
+	// 4-cell grid simulated exactly once.
+	if simulated != 4 {
+		t.Errorf("workers simulated %d cells in total, want exactly the 4 in the grid", simulated)
+	}
+
+	store, err := cache.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := base
+	final.Cache = store
+	tbl, err = e.Run(final)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tbl.String(); got != want {
+		t.Errorf("table rendered from the workers' store differs from the unsharded run:\n--- from store\n%s--- unsharded\n%s", got, want)
+	}
+	if hits, misses, readErrs, puts := store.Counts(); hits != 4 || misses != 0 || readErrs != 0 || puts != 0 {
+		t.Errorf("final run counts = %d hits, %d misses, %d read errors, %d puts; want 4/0/0/0", hits, misses, readErrs, puts)
+	}
+}
+
+// TestShardedPrecomputeValidation pins the worker-mode preconditions.
+func TestShardedPrecomputeValidation(t *testing.T) {
+	e, err := ByID("fig10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig("li")
+	cfg.Instructions = 100_000
+	cfg.Shard, cfg.Shards = 0, 2
+	if _, err := e.Run(cfg); err == nil || !strings.Contains(err.Error(), "Cache") {
+		t.Errorf("sharding without a store: %v", err)
+	}
+	store, err := cache.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Cache = store
+	cfg.Shard = 2
+	if _, err := e.Run(cfg); err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Errorf("out-of-range shard: %v", err)
 	}
 }
 

@@ -1,0 +1,223 @@
+// Manifests and the merge step. A manifest is a shard's completion
+// record: written only after every owned cell's result is in the shared
+// store, so its existence certifies the shard finished. The merge reads
+// the manifests plus the store, verifies total coverage, and reassembles
+// the sweep's results in plan order — or fails loudly with a typed
+// *MissingError naming exactly which cells (and which shard) never made
+// it.
+package shard
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"ev8pred/internal/cache"
+	"ev8pred/internal/sim"
+)
+
+// manifestVersion versions the manifest file format.
+const manifestVersion = 1
+
+// Manifest records one shard's completed cells. It is written atomically
+// and only after the shard's last result landed in the store, so a
+// present manifest means "every listed cell is answerable".
+type Manifest struct {
+	Version int `json:"version"`
+	// SweepID is the plan fingerprint; a merge refuses manifests whose ID
+	// does not match its own plan.
+	SweepID string `json:"sweep_id"`
+	// Shard and Shards are the spec (k of N) this manifest certifies.
+	Shard  int `json:"shard"`
+	Shards int `json:"shards"`
+	// Cells lists the completed cells by content hash plus human identity.
+	Cells []ManifestCell `json:"cells"`
+}
+
+// ManifestCell is one completed cell as the manifest records it.
+type ManifestCell struct {
+	Hash     string `json:"hash"`
+	X        int    `json:"x"`
+	Workload string `json:"workload"`
+}
+
+// Manifest builds the completion manifest RunShard writes after the
+// spec's cells all landed in the store.
+func (p *Plan) Manifest(spec Spec) *Manifest {
+	m := &Manifest{Version: manifestVersion, SweepID: p.ID, Shard: spec.Index, Shards: spec.Count}
+	for _, c := range p.Owned(spec) {
+		m.Cells = append(m.Cells, ManifestCell{Hash: c.Hash, X: c.X, Workload: c.Workload})
+	}
+	return m
+}
+
+// ManifestPath names the manifest file for one spec inside dir.
+func ManifestPath(dir string, spec Spec) string {
+	return filepath.Join(dir, fmt.Sprintf("shard-%d-of-%d.json", spec.Index, spec.Count))
+}
+
+// WriteManifest stores the manifest atomically (temp file + rename), so a
+// merge scanning the directory never sees a half-written certificate.
+func WriteManifest(dir string, m *Manifest) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("shard: %w", err)
+	}
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("shard: encoding manifest: %w", err)
+	}
+	data = append(data, '\n')
+	path := ManifestPath(dir, Spec{Index: m.Shard, Count: m.Shards})
+	tmp, err := os.CreateTemp(dir, ".manifest-*")
+	if err != nil {
+		return fmt.Errorf("shard: %w", err)
+	}
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr == nil {
+		werr = cerr
+	}
+	if werr == nil {
+		werr = os.Chmod(tmp.Name(), 0o644)
+	}
+	if werr == nil {
+		werr = os.Rename(tmp.Name(), path)
+	}
+	if werr != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("shard: writing %s: %w", filepath.Base(path), werr)
+	}
+	return nil
+}
+
+// ReadManifests loads every manifest in dir, sorted by shard index. A
+// malformed manifest is a loud error, not a skip — a merge must never
+// quietly proceed past a certificate it cannot read.
+func ReadManifests(dir string) ([]*Manifest, error) {
+	names, err := filepath.Glob(filepath.Join(dir, "shard-*-of-*.json"))
+	if err != nil {
+		return nil, fmt.Errorf("shard: %w", err)
+	}
+	ms := make([]*Manifest, 0, len(names))
+	for _, name := range names {
+		data, err := os.ReadFile(name)
+		if err != nil {
+			return nil, fmt.Errorf("shard: reading %s: %w", name, err)
+		}
+		var m Manifest
+		if err := json.Unmarshal(data, &m); err != nil {
+			return nil, fmt.Errorf("shard: malformed manifest %s: %w", filepath.Base(name), err)
+		}
+		if m.Version != manifestVersion {
+			return nil, fmt.Errorf("shard: manifest %s has version %d, this binary speaks %d", filepath.Base(name), m.Version, manifestVersion)
+		}
+		ms = append(ms, &m)
+	}
+	sort.Slice(ms, func(i, j int) bool { return ms[i].Shard < ms[j].Shard })
+	return ms, nil
+}
+
+// MissingCell names one cell the merge could not account for, and why.
+type MissingCell struct {
+	// Cell is the human identity ("x=16/gcc").
+	Cell string
+	// Shard is the owning shard under the merged shard count.
+	Shard int
+	// Reason says what is absent: the shard's manifest, the cell's entry
+	// in it, or the result in the store.
+	Reason string
+}
+
+// MissingError is the typed failure of an incomplete merge: one entry per
+// unaccounted cell. Callers re-run the named shards (crash recovery makes
+// that cheap — completed cells hit the store) and merge again.
+type MissingError struct {
+	// Shards is the shard count the manifests agreed on.
+	Shards int
+	// Missing names every unaccounted cell.
+	Missing []MissingCell
+}
+
+// Error lists the missing cells, elided past ten.
+func (e *MissingError) Error() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "shard: sweep incomplete: %d cells unaccounted for:", len(e.Missing))
+	for i, m := range e.Missing {
+		if i == 10 {
+			fmt.Fprintf(&sb, " ... and %d more", len(e.Missing)-i)
+			break
+		}
+		fmt.Fprintf(&sb, " %s (shard %d/%d: %s);", m.Cell, m.Shard, e.Shards, m.Reason)
+	}
+	return strings.TrimSuffix(sb.String(), ";")
+}
+
+// Merge assembles the full sweep from the shards' manifests in dir plus
+// the shared store: it discovers the shard count from the manifests
+// (which must agree on it and on the sweep ID), verifies every planned
+// cell is certified complete by its owner and readable from the store,
+// and returns the results in plan order — byte-identical to a
+// single-process run, because the store's entries ARE the single-process
+// results (the cache differential suites pin that). Any unaccounted cell
+// fails the whole merge with a *MissingError naming it; there is no
+// partial success.
+func Merge(p *Plan, dir string, store *cache.Store) ([]sim.Result, error) {
+	ms, err := ReadManifests(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(ms) == 0 {
+		return nil, fmt.Errorf("shard: no manifests in %s — no shard has completed", dir)
+	}
+	n := ms[0].Shards
+	byShard := make(map[int]*Manifest, len(ms))
+	for _, m := range ms {
+		if m.SweepID != p.ID {
+			return nil, fmt.Errorf("shard: manifest for shard %d/%d certifies a different sweep (id %.12s..., this sweep is %.12s...) — wrong -manifest directory or changed sweep flags", m.Shard, m.Shards, m.SweepID, p.ID)
+		}
+		if m.Shards != n {
+			return nil, fmt.Errorf("shard: mixed shard counts in %s (%d-way and %d-way manifests) — merge one partitioning at a time", dir, n, m.Shards)
+		}
+		if m.Shard < 0 || m.Shard >= n {
+			return nil, fmt.Errorf("shard: manifest claims shard %d of %d", m.Shard, n)
+		}
+		byShard[m.Shard] = m
+	}
+	certified := make(map[string]bool)
+	for _, m := range ms {
+		for _, c := range m.Cells {
+			certified[c.Hash] = true
+		}
+	}
+
+	var missing []MissingCell
+	results := make([]sim.Result, len(p.Cells))
+	for i, c := range p.Cells {
+		owner := Assign(c.Hash, n)
+		switch {
+		case byShard[owner] == nil:
+			missing = append(missing, MissingCell{Cell: c.Name(), Shard: owner, Reason: "shard never completed (no manifest)"})
+			continue
+		case !certified[c.Hash]:
+			missing = append(missing, MissingCell{Cell: c.Name(), Shard: owner, Reason: "not certified by any manifest"})
+			continue
+		}
+		e, hit, gerr := store.Get(c.Key)
+		if !hit {
+			reason := "result missing from the store"
+			if gerr != nil {
+				reason = fmt.Sprintf("result unreadable: %v", gerr)
+			}
+			missing = append(missing, MissingCell{Cell: c.Name(), Shard: owner, Reason: reason})
+			continue
+		}
+		results[i] = sim.ResultFromEntry(e)
+	}
+	if len(missing) > 0 {
+		return nil, &MissingError{Shards: n, Missing: missing}
+	}
+	return results, nil
+}

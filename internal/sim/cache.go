@@ -67,8 +67,11 @@ func CellKey(c Cell, instrBudget int64) (cache.Key, bool, error) {
 	return cache.Key{Workload: wl, Config: config, Options: canonicalOptions(c.Opts)}, true, nil
 }
 
-// entryResult rebuilds a Result from a cached entry.
-func entryResult(e *cache.Entry) Result {
+// ResultFromEntry rebuilds a Result from a cached entry — the inverse of
+// the conversion Put-side caching applies. The shard merge step
+// (internal/shard) uses it to turn a completed distributed sweep's cache
+// reads back into the Results a single-process run would have produced.
+func ResultFromEntry(e *cache.Entry) Result {
 	r := Result{
 		Predictor:    e.Predictor,
 		Workload:     e.Workload,
@@ -147,7 +150,7 @@ func runCellsCached(ctx context.Context, cells []Cell, instrBudget int64, pool P
 			misses = append(misses, miss{index: i, key: k, cacheable: true})
 			continue
 		}
-		results[i] = entryResult(e)
+		results[i] = ResultFromEntry(e)
 		hits = append(hits, i)
 	}
 

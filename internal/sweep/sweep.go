@@ -54,6 +54,20 @@ func RunPool(factory Factory, xs []int, profs []workload.Profile, instrBudget in
 	if len(xs) == 0 {
 		return nil, fmt.Errorf("sweep: no parameter values")
 	}
+	rs, err := sim.RunCells(context.Background(), Cells(factory, xs, profs, opts), instrBudget, pool)
+	if err != nil {
+		return nil, fmt.Errorf("sweep: %w", err)
+	}
+	return Points(xs, profs, rs)
+}
+
+// Cells enumerates the sweep's cell space — the same (factory, xs,
+// profiles, options) inputs RunPool takes — without simulating anything:
+// one cell per (parameter value × benchmark), parameter-major, in exactly
+// the order RunPool's results come back. The shard planner
+// (internal/shard) keys these cells to partition one sweep across
+// processes and machines (docs/SHARDING.md).
+func Cells(factory Factory, xs []int, profs []workload.Profile, opts sim.Options) []sim.Cell {
 	cells := make([]sim.Cell, 0, len(xs)*len(profs))
 	for _, x := range xs {
 		mk := func() (predictor.Predictor, error) {
@@ -67,9 +81,16 @@ func RunPool(factory Factory, xs []int, profs []workload.Profile, instrBudget in
 			cells = append(cells, sim.Cell{Factory: mk, Profile: prof, Opts: opts})
 		}
 	}
-	rs, err := sim.RunCells(context.Background(), cells, instrBudget, pool)
-	if err != nil {
-		return nil, fmt.Errorf("sweep: %w", err)
+	return cells
+}
+
+// Points reassembles per-cell results, in Cells order, into per-value
+// Points — the aggregation half of RunPool, shared with the shard merge
+// path so a merged distributed sweep and a single-process sweep build
+// their points from the same code.
+func Points(xs []int, profs []workload.Profile, rs []sim.Result) ([]Point, error) {
+	if len(rs) != len(xs)*len(profs) {
+		return nil, fmt.Errorf("sweep: %d results cannot fill %d values x %d benchmarks", len(rs), len(xs), len(profs))
 	}
 	out := make([]Point, len(xs))
 	for i, x := range xs {
