@@ -4,7 +4,7 @@
 GO ?= go
 STATICCHECK_VERSION ?= 2025.1.1
 
-.PHONY: all build vet staticcheck test race bench bench-baseline bench-ensemble bench-kernel check report fuzz faultinject resume shard-gate examples clean
+.PHONY: all build vet staticcheck test race bench bench-baseline bench-ensemble bench-kernel check report fuzz faultinject resume shard-gate serve-gate examples clean
 
 all: build vet test
 
@@ -34,6 +34,7 @@ check:
 	$(GO) test -run 'TestCache|TestSweepWarmCacheZeroWork|TestUncacheable|TestSnapshotMutants|TestCheckpointMutants' -count=1 .
 	$(GO) test -count=1 ./internal/cache/ ./internal/snapshot/
 	$(MAKE) shard-gate
+	$(MAKE) serve-gate
 	$(GO) test -fuzz FuzzSnapshotDecode -fuzztime 30s -run '^$$' .
 	$(GO) test -bench=Table1 -benchtime=1x -run '^$$' .
 	$(GO) test -bench=PredictUpdate -benchtime=100x -run '^$$' .
@@ -121,6 +122,16 @@ shard-gate:
 	$(GO) test -run 'TestShard|TestAssign|TestPlan|TestMerge|TestManifest' -count=1 ./internal/shard/ ./cmd/ev8sweep/ ./internal/experiments/
 	$(GO) test -run 'TestCacheCrossProcessSharing' -count=1 .
 	$(GO) test -run 'TestTwoStoresOneDirHammer|TestOpenCollectsOrphanedTemps|TestPutEntryWorldReadable|TestReadErrorIsNotAMiss' -count=1 ./internal/cache/
+
+# Serving gate (docs/SERVING.md): the ev8serve daemon end to end under
+# the race detector — concurrent tenants streaming NDJSON jobs whose
+# results are byte-identical to direct engine runs, admission
+# backpressure (typed 429/503), SIGTERM drain that finishes in-flight
+# jobs with no goroutine leaks, the per-run expvar isolation registry,
+# and the debug-listener close/shutdown regression tests.
+serve-gate:
+	$(GO) test -race -count=1 ./internal/serve/ ./cmd/ev8serve/
+	$(GO) test -race -run 'TestServeDebug|TestConcurrentObserversIsolated|TestAcquireCollision' -count=1 ./internal/stats/live/
 
 # Exhaustive trace-corruption suite: every prefix truncation and every
 # single-bit flip of a format-2 stream must surface a typed error.

@@ -57,6 +57,7 @@ import (
 	"time"
 
 	"ev8pred/internal/cache"
+	"ev8pred/internal/cliflag"
 	"ev8pred/internal/ev8"
 	"ev8pred/internal/experiments"
 	"ev8pred/internal/frontend"
@@ -140,6 +141,14 @@ func run(args []string, out, errw io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if err := cliflag.Workers("j", *workers); err != nil {
+		return err
+	}
+	if *expvarAddr != "" {
+		if err := cliflag.HostPort("expvar", *expvarAddr); err != nil {
+			return err
+		}
+	}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -222,12 +231,23 @@ func run(args []string, out, errw io.Writer) error {
 		fmt.Fprintf(errw, "ev8bench: precompute worker %s: tables below cover only this shard's cells (zeros elsewhere); render from an unsharded -cache run once every worker finishes\n", spec)
 	}
 	if *expvarAddr != "" {
-		lv := live.New("ev8bench")
-		addr, err := live.ServeDebug(*expvarAddr)
+		lv, err := live.Acquire("ev8bench")
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(errw, "ev8bench: live counters at http://%s/debug/vars\n", addr)
+		defer lv.Release()
+		dbg, err := live.ServeDebug(*expvarAddr)
+		if err != nil {
+			return err
+		}
+		// Close frees the port and stops the serve goroutine before exit
+		// (the old API leaked both for the process lifetime).
+		defer func() {
+			if cerr := dbg.Close(); cerr != nil {
+				fmt.Fprintln(os.Stderr, "ev8bench: closing expvar server:", cerr)
+			}
+		}()
+		fmt.Fprintf(errw, "ev8bench: live counters at http://%s/debug/vars\n", dbg.Addr())
 		prev := cfg.Progress
 		cfg.Progress = func(ev sim.CellDone) {
 			if prev != nil {

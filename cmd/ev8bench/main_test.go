@@ -1,10 +1,14 @@
 package main
 
 import (
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"ev8pred/internal/cliflag"
+	"ev8pred/internal/shard"
 )
 
 func TestRunSingleExperiment(t *testing.T) {
@@ -72,6 +76,50 @@ func TestRunErrors(t *testing.T) {
 	if err := run([]string{"-badflag"}, &sb, &eb); err == nil {
 		t.Error("bad flag accepted")
 	}
+}
+
+// TestRunFlagValidation pins the malformed-flag audit: every rejected
+// invocation must fail fast with the matching typed error (not simulate
+// first, not exit on a cryptic Sscanf mismatch).
+func TestRunFlagValidation(t *testing.T) {
+	base := []string{"-experiment", "none"}
+	cases := []struct {
+		name string
+		args []string
+		want func(error) bool
+	}{
+		{"negative workers", []string{"-j", "-2"}, isCliflagError},
+		{"shard k==N", []string{"-cache", t.TempDir(), "-shard", "3/3"}, isShardSpecError},
+		{"shard k>N", []string{"-cache", t.TempDir(), "-shard", "4/3"}, isShardSpecError},
+		{"shard zero count", []string{"-cache", t.TempDir(), "-shard", "0/0"}, isShardSpecError},
+		{"shard non-numeric", []string{"-cache", t.TempDir(), "-shard", "x/3"}, isShardSpecError},
+		{"shard trailing garbage", []string{"-cache", t.TempDir(), "-shard", "0/3x"}, isShardSpecError},
+		{"expvar no port", []string{"-expvar", "localhost"}, isCliflagError},
+		{"expvar bad port", []string{"-expvar", "localhost:notaport"}, isCliflagError},
+		{"expvar empty", []string{"-expvar", " "}, isCliflagError},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var sb, eb strings.Builder
+			err := run(append(append([]string{}, base...), tc.args...), &sb, &eb)
+			if err == nil {
+				t.Fatalf("args %v accepted", tc.args)
+			}
+			if !tc.want(err) {
+				t.Errorf("args %v: error %v (%T) is not the expected typed error", tc.args, err, err)
+			}
+		})
+	}
+}
+
+func isCliflagError(err error) bool {
+	var ce *cliflag.Error
+	return errors.As(err, &ce)
+}
+
+func isShardSpecError(err error) bool {
+	var se *shard.SpecError
+	return errors.As(err, &se)
 }
 
 // TestRunWorkersIdenticalReport is the CLI-level determinism contract: the

@@ -58,11 +58,8 @@ import (
 	"strings"
 
 	"ev8pred/internal/cache"
-	"ev8pred/internal/core"
+	"ev8pred/internal/cliflag"
 	"ev8pred/internal/frontend"
-	"ev8pred/internal/predictor"
-	"ev8pred/internal/predictor/gshare"
-	"ev8pred/internal/predictor/perceptron"
 	"ev8pred/internal/report"
 	"ev8pred/internal/shard"
 	"ev8pred/internal/sim"
@@ -123,18 +120,20 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 
-	modes := map[string]frontend.Mode{
-		"ghist":  frontend.ModeGhist(),
-		"lghist": frontend.ModeLghist(),
-		"ev8":    frontend.ModeEV8(),
-	}
-	mode, ok := modes[*modeName]
-	if !ok {
-		return fmt.Errorf("unknown mode %q", *modeName)
+	mode, err := frontend.ModeByName(*modeName)
+	if err != nil {
+		return err
 	}
 
-	factory, err := buildFactory(*scheme, *param)
+	// The family roster lives in the sweep package so the ev8serve daemon
+	// compiles specs through the exact same constructors — identical cache
+	// keys, identical results (docs/SERVING.md).
+	factory, err := sweep.FamilyFactory(*scheme, *param)
 	if err != nil {
+		return err
+	}
+
+	if err := cliflag.Workers("j", *workers); err != nil {
 		return err
 	}
 
@@ -246,44 +245,4 @@ func run(args []string, out io.Writer) error {
 		werr = fmt.Errorf("closing json: %w", cerr)
 	}
 	return werr
-}
-
-// buildFactory maps (scheme, param) to a family constructor.
-func buildFactory(scheme, param string) (sweep.Factory, error) {
-	switch scheme + "/" + param {
-	case "gshare/history":
-		return func(h int) (predictor.Predictor, error) {
-			return gshare.New(1024*1024, h)
-		}, nil
-	case "gshare/size":
-		return func(log2 int) (predictor.Predictor, error) {
-			return gshare.New(1<<uint(log2), min(log2+4, 32))
-		}, nil
-	case "2bcg/history":
-		return func(h int) (predictor.Predictor, error) {
-			c := core.Config512K()
-			// Scale the three lengths around the G1 value, keeping
-			// the paper's G0 <= Meta <= G1 ordering (§4.5).
-			c.Banks[core.G1].HistLen = h
-			c.Banks[core.Meta].HistLen = h * 3 / 4
-			c.Banks[core.G0].HistLen = h * 2 / 3
-			c.Name = fmt.Sprintf("2bcg-512K-g1h%d", h)
-			return core.New(c)
-		}, nil
-	case "2bcg/size":
-		return func(log2 int) (predictor.Predictor, error) {
-			c := core.Config512K()
-			for b := core.BIM; b < core.NumBanks; b++ {
-				c.Banks[b].Entries = 1 << uint(log2)
-			}
-			c.Name = fmt.Sprintf("2bcg-4x2^%d", log2)
-			return core.New(c)
-		}, nil
-	case "perceptron/history":
-		return func(h int) (predictor.Predictor, error) {
-			return perceptron.New(1024, h)
-		}, nil
-	default:
-		return nil, fmt.Errorf("unsupported scheme/param %s/%s", scheme, param)
-	}
 }

@@ -1,10 +1,15 @@
 package main
 
 import (
+	"errors"
 	"fmt"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"ev8pred/internal/cliflag"
+	"ev8pred/internal/shard"
+	"ev8pred/internal/sweep"
 )
 
 func TestRunGshareHistorySweep(t *testing.T) {
@@ -54,13 +59,39 @@ func TestRunErrors(t *testing.T) {
 	}
 }
 
+// TestRunFlagValidation pins the malformed-flag audit for the sweep CLI:
+// negative worker counts and malformed shard specs fail fast with typed
+// errors before any simulation starts.
+func TestRunFlagValidation(t *testing.T) {
+	base := []string{"-values", "4", "-benchmarks", "li", "-instructions", "100000"}
+	t.Run("negative workers", func(t *testing.T) {
+		var sb strings.Builder
+		err := run(append(append([]string{}, base...), "-j", "-1"), &sb)
+		var ce *cliflag.Error
+		if !errors.As(err, &ce) {
+			t.Fatalf("-j -1: error %v (%T) is not *cliflag.Error", err, err)
+		}
+	})
+	for _, bad := range []string{"3/3", "5/3", "0/0", "x/3", "0/3x", "0.5/3"} {
+		t.Run("shard "+bad, func(t *testing.T) {
+			var sb strings.Builder
+			err := run(append(append([]string{}, base...),
+				"-cache", t.TempDir(), "-manifest", t.TempDir(), "-shard", bad), &sb)
+			var se *shard.SpecError
+			if !errors.As(err, &se) {
+				t.Fatalf("-shard %s: error %v (%T) is not *shard.SpecError", bad, err, err)
+			}
+		})
+	}
+}
+
 func TestBuildFactoryCoverage(t *testing.T) {
 	for _, combo := range []struct{ scheme, param string }{
 		{"gshare", "history"}, {"gshare", "size"},
 		{"2bcg", "history"}, {"2bcg", "size"},
 		{"perceptron", "history"},
 	} {
-		f, err := buildFactory(combo.scheme, combo.param)
+		f, err := sweep.FamilyFactory(combo.scheme, combo.param)
 		if err != nil {
 			t.Errorf("%s/%s: %v", combo.scheme, combo.param, err)
 			continue

@@ -182,6 +182,23 @@ func (s *Store) Counts() (hits, misses, readErrors, puts int64) {
 	return s.hits.Load(), s.misses.Load(), s.readErrs.Load(), s.puts.Load()
 }
 
+// Snapshot is Counts as a serializable record, for surfaces that report
+// store health over the wire — the ev8serve daemon's /healthz includes
+// one, so an operator watching a long-running shared store sees read
+// errors (disk trouble) separately from misses (cold cells).
+type Snapshot struct {
+	Hits       int64 `json:"hits"`
+	Misses     int64 `json:"misses"`
+	ReadErrors int64 `json:"read_errors"`
+	Puts       int64 `json:"puts"`
+}
+
+// Snapshot captures the current counters.
+func (s *Store) Snapshot() Snapshot {
+	h, m, r, p := s.Counts()
+	return Snapshot{Hits: h, Misses: m, ReadErrors: r, Puts: p}
+}
+
 // path maps a key to its entry file.
 func (s *Store) path(k Key) string {
 	return filepath.Join(s.dir, k.Hash()+".ev8c")

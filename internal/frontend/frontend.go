@@ -68,6 +68,23 @@ func ModeOldLghist() Mode {
 // them).
 func ModeEV8() Mode { return ModeOldLghist() }
 
+// ModeByName maps the CLI/API spelling of an information vector to its
+// Mode — the single lookup behind ev8sweep's -mode flag and the serving
+// layer's experiment specs (internal/serve), so a spec submitted over
+// HTTP resolves to exactly the mode the CLI would.
+func ModeByName(name string) (Mode, error) {
+	switch name {
+	case "ghist":
+		return ModeGhist(), nil
+	case "lghist":
+		return ModeLghist(), nil
+	case "ev8":
+		return ModeEV8(), nil
+	default:
+		return Mode{}, fmt.Errorf("frontend: unknown mode %q (want ghist|lghist|ev8)", name)
+	}
+}
+
 // String names the mode as in Figure 7.
 func (m Mode) String() string {
 	switch {

@@ -35,6 +35,8 @@ import (
 	"encoding/hex"
 	"fmt"
 	"io"
+	"strconv"
+	"strings"
 
 	"ev8pred/internal/cache"
 	"ev8pred/internal/sim"
@@ -49,16 +51,45 @@ type Spec struct {
 	Count int
 }
 
-// ParseSpec parses the CLI spelling "k/N" with 0 <= k < N.
+// SpecError is the typed rejection of a malformed -shard value: which
+// spec was given and why it is unusable. Every ParseSpec failure is one
+// of these, so CLIs exit with a clear message and tests can assert the
+// rejection with errors.As instead of string-matching.
+type SpecError struct {
+	Spec   string // the rejected value as given
+	Reason string // why it was rejected
+}
+
+// Error implements error.
+func (e *SpecError) Error() string {
+	return fmt.Sprintf("shard: bad spec %q: %s (want k/N with 0 <= k < N, e.g. 0/3)", e.Spec, e.Reason)
+}
+
+// ParseSpec parses the CLI spelling "k/N" with 0 <= k < N. Parsing is
+// strict — the old fmt.Sscanf version silently accepted trailing garbage
+// ("0/3x" parsed as 0/3) and leading whitespace; strconv rejects both,
+// so a mangled worker invocation fails loudly instead of quietly
+// simulating the wrong shard.
 func ParseSpec(s string) (Spec, error) {
-	var sp Spec
-	if n, err := fmt.Sscanf(s, "%d/%d", &sp.Index, &sp.Count); err != nil || n != 2 {
-		return Spec{}, fmt.Errorf("shard: bad spec %q (want k/N, e.g. 0/3)", s)
+	ks, ns, ok := strings.Cut(s, "/")
+	if !ok {
+		return Spec{}, &SpecError{Spec: s, Reason: "missing '/'"}
 	}
-	if sp.Count < 1 || sp.Index < 0 || sp.Index >= sp.Count {
-		return Spec{}, fmt.Errorf("shard: spec %q out of range (want 0 <= k < N)", s)
+	k, err := strconv.Atoi(ks)
+	if err != nil {
+		return Spec{}, &SpecError{Spec: s, Reason: fmt.Sprintf("shard index %q is not a number", ks)}
 	}
-	return sp, nil
+	n, err := strconv.Atoi(ns)
+	if err != nil {
+		return Spec{}, &SpecError{Spec: s, Reason: fmt.Sprintf("shard count %q is not a number", ns)}
+	}
+	if n < 1 {
+		return Spec{}, &SpecError{Spec: s, Reason: fmt.Sprintf("shard count %d must be at least 1", n)}
+	}
+	if k < 0 || k >= n {
+		return Spec{}, &SpecError{Spec: s, Reason: fmt.Sprintf("shard index %d out of range [0, %d)", k, n)}
+	}
+	return Spec{Index: k, Count: n}, nil
 }
 
 // String renders the spec as the CLI spells it.

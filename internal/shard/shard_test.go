@@ -64,9 +64,23 @@ func TestParseSpec(t *testing.T) {
 			t.Errorf("Spec%+v.String() = %q, want %q", got, got.String(), good.in)
 		}
 	}
-	for _, bad := range []string{"", "3", "3/3", "4/3", "-1/3", "a/b", "1/0", "1/-2"} {
-		if _, err := ParseSpec(bad); err == nil {
+	// Every rejected form — including the trailing-garbage and whitespace
+	// spellings fmt.Sscanf used to accept silently — must fail with the
+	// typed *SpecError, never a panic or a silently defaulted shard.
+	for _, bad := range []string{
+		"", "3", "3/3", "4/3", "-1/3", "a/b", "1/0", "1/-2",
+		"0/3x", "x0/3", "1/2/3", " 0/3", "0/ 3", "0/3 ", "0.5/3", "0x1/3", "/3", "0/",
+	} {
+		_, err := ParseSpec(bad)
+		if err == nil {
 			t.Errorf("ParseSpec(%q) accepted", bad)
+			continue
+		}
+		var se *SpecError
+		if !errors.As(err, &se) {
+			t.Errorf("ParseSpec(%q) error %T is not *shard.SpecError", bad, err)
+		} else if se.Spec != bad {
+			t.Errorf("ParseSpec(%q) error names spec %q", bad, se.Spec)
 		}
 	}
 }

@@ -134,6 +134,9 @@ func runCellsCached(ctx context.Context, cells []Cell, instrBudget int64, pool P
 		hits   []int
 	)
 	for i, c := range cells {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		k, ok, err := CellKey(c, instrBudget)
 		if err != nil {
 			return nil, err

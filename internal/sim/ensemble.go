@@ -16,6 +16,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -346,15 +347,7 @@ func runEnsemble(factories []Factory, src trace.Source, opts Options, ck *Checkp
 // RunEnsembleBenchmark builds the named synthetic benchmark once and runs
 // one predictor per factory over its single stream.
 func RunEnsembleBenchmark(factories []Factory, prof workload.Profile, instrBudget int64, opts Options) ([]Result, error) {
-	g, err := workload.New(prof, instrBudget)
-	if err != nil {
-		return nil, err
-	}
-	rs, err := RunEnsemble(factories, g, opts)
-	for i := range rs {
-		rs[i].Workload = prof.Name
-	}
-	return rs, err
+	return runEnsembleBenchmarkCtx(context.Background(), factories, prof, instrBudget, opts)
 }
 
 // RunWarmEnsembleBenchmark amortizes warmup across an ensemble: ONE

@@ -145,6 +145,9 @@ type Cell struct {
 // once instead of K times. Grouping changes only the schedule: results,
 // their order, and the per-cell Progress events are the same either way.
 func RunCells(ctx context.Context, cells []Cell, instrBudget int64, pool PoolOptions) ([]Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if pool.Cache != nil {
 		return runCellsCached(ctx, cells, instrBudget, pool)
 	}
@@ -157,12 +160,16 @@ func RunCells(ctx context.Context, cells []Cell, instrBudget int64, pool PoolOpt
 	)
 	jobs := make([]func(context.Context) (Result, error), len(cells))
 	for i, c := range cells {
-		jobs[i] = func(context.Context) (Result, error) {
+		jobs[i] = func(jctx context.Context) (Result, error) {
 			p, err := c.Factory()
 			if err != nil {
 				return Result{}, fmt.Errorf("sim: building predictor for %s: %w", c.Profile.Name, err)
 			}
-			r, err := RunBenchmark(p, c.Profile, instrBudget, c.Opts)
+			// The pool's job context flows into the stream (see cancel.go),
+			// so canceling the fan-out — first error, caller gave up, daemon
+			// draining — interrupts a cell mid-run instead of only between
+			// cells.
+			r, err := runBenchmarkCtx(jctx, p, c.Profile, instrBudget, c.Opts)
 			if err != nil {
 				return Result{}, err
 			}
@@ -244,12 +251,12 @@ func runCellGroups(ctx context.Context, cells []Cell, groups []cellGroup, instrB
 	)
 	jobs := make([]func(context.Context) ([]Result, error), len(groups))
 	for gi, g := range groups {
-		jobs[gi] = func(context.Context) ([]Result, error) {
+		jobs[gi] = func(jctx context.Context) ([]Result, error) {
 			factories := make([]Factory, len(g.cells))
 			for k, ci := range g.cells {
 				factories[k] = cells[ci].Factory
 			}
-			rs, err := RunEnsembleBenchmark(factories, g.prof, instrBudget, g.opts)
+			rs, err := runEnsembleBenchmarkCtx(jctx, factories, g.prof, instrBudget, g.opts)
 			if err != nil {
 				return nil, fmt.Errorf("sim: ensemble over %s: %w", g.prof.Name, err)
 			}

@@ -438,15 +438,10 @@ func finishRun(p predictor.Predictor, src trace.Source, opts Options, res Result
 }
 
 // RunBenchmark builds the named synthetic benchmark with instrBudget
-// instructions and runs p over it.
+// instructions and runs p over it. For a cancelable variant see the
+// pool: RunCells threads its context into every cell's stream.
 func RunBenchmark(p predictor.Predictor, prof workload.Profile, instrBudget int64, opts Options) (Result, error) {
-	g, err := workload.New(prof, instrBudget)
-	if err != nil {
-		return Result{}, err
-	}
-	r, err := Run(p, g, opts)
-	r.Workload = prof.Name
-	return r, err
+	return runBenchmarkCtx(context.Background(), p, prof, instrBudget, opts)
 }
 
 // Factory builds a fresh predictor instance for one benchmark run.

@@ -1,28 +1,62 @@
-// Package live publishes suite-run progress through the standard
-// library's expvar registry, plus a minimal HTTP endpoint to read it, so
-// a long ev8bench/ev8sweep run can be inspected from outside the process
-// while it executes (curl the -expvar address).
+// Package live publishes run progress through the standard library's
+// expvar registry, plus a minimal HTTP endpoint to read it, so a long
+// ev8bench/ev8sweep run — or any job inside the ev8serve daemon — can be
+// inspected from outside the process while it executes (curl the
+// -expvar address or the daemon's /debug/vars).
 //
 // It is deliberately a separate package from the pure counter layer
 // (package stats): linking expvar/net/http wakes enough background
 // machinery to trip the zero-allocation hot-path gate in binaries that
-// never serve anything, so only the CLIs that actually expose -expvar
-// import this package. The predictor/sim layers depend on package stats
-// alone.
+// never serve anything, so only the CLIs and the daemon import this
+// package. The predictor/sim layers depend on package stats alone.
+//
+// Expvar names are process-global, which historically meant "one run per
+// process": two concurrent runs publishing under the same prefix would
+// silently merge their cells/branches/instructions counters into one
+// meaningless stream. The package therefore keeps a registry of active
+// prefixes — Acquire claims one (failing with a typed *PrefixError on
+// collision instead of merging), Release returns it. A long-running
+// daemon recycles a bounded set of prefixes through Acquire/Release, one
+// per concurrent job slot, so its metrics stay trustworthy and the
+// process-global expvar map stays bounded (expvar cannot unpublish; the
+// underlying vars are re-zeroed on reacquisition instead).
 package live
 
 import (
+	"context"
 	"expvar"
 	"fmt"
 	"net"
 	"net/http"
+	"sync"
 	"time"
 )
 
-// Live publishes suite-run progress as expvar variables. One Live is
-// created per process (expvar names are process-global); concurrent
-// Observe calls are safe — expvar.Int is internally atomic.
+// PrefixError is the typed rejection of an Acquire whose prefix is
+// already live: a second concurrent run under the same name would
+// silently merge both runs' counters, which is exactly the bug the
+// registry exists to prevent.
+type PrefixError struct {
+	Prefix string
+}
+
+// Error implements error.
+func (e *PrefixError) Error() string {
+	return fmt.Sprintf("live: metrics prefix %q is already in use by a concurrent run", e.Prefix)
+}
+
+// registry tracks which prefixes are currently live in this process.
+var (
+	regMu sync.Mutex
+	inUse = map[string]bool{}
+)
+
+// Live publishes one run's progress as expvar variables under its
+// prefix. Concurrent Observe calls on one Live are safe — expvar.Int is
+// internally atomic — and concurrent Lives are isolated by the prefix
+// registry.
 type Live struct {
+	prefix    string
 	cells     *expvar.Int
 	total     *expvar.Int
 	branches  *expvar.Int
@@ -31,10 +65,10 @@ type Live struct {
 	startedAt *expvar.String
 }
 
-// publishInt returns the named expvar.Int, creating it on first use.
-// Reusing an existing registration keeps New idempotent (expvar panics
-// on duplicate Publish), which matters for tests and for CLIs whose
-// run() is invoked more than once per process.
+// publishInt returns the named expvar.Int reset to zero, creating it on
+// first use. Reusing an existing registration is what lets a released
+// prefix be acquired again (expvar panics on duplicate Publish and has
+// no unpublish).
 func publishInt(name string) *expvar.Int {
 	if v := expvar.Get(name); v != nil {
 		if i, ok := v.(*expvar.Int); ok {
@@ -58,12 +92,27 @@ func publishString(name string) *expvar.String {
 	return s
 }
 
-// New publishes (or re-zeroes) the progress variables under
-// "<prefix>.cells_done", ".cells_total", ".branches", ".instructions",
-// ".started_at" and returns the handle CLIs feed from their progress
-// callbacks.
-func New(prefix string) *Live {
+// Int returns the named standalone expvar counter, zeroed, creating it
+// idempotently — the helper serving-layer aggregates (jobs admitted,
+// rejections) use for vars that live outside any single run's prefix.
+func Int(name string) *expvar.Int { return publishInt(name) }
+
+// Acquire claims prefix and publishes (or re-zeroes) the progress
+// variables under "<prefix>.cells_done", ".cells_total", ".branches",
+// ".instructions", ".started_at", returning the handle progress
+// callbacks feed. It fails with a *PrefixError when the prefix is
+// already held by a live run — the caller picks another prefix (the
+// daemon keys one per job slot) rather than silently merging counters.
+// Release the handle when the run ends.
+func Acquire(prefix string) (*Live, error) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if inUse[prefix] {
+		return nil, &PrefixError{Prefix: prefix}
+	}
+	inUse[prefix] = true
 	l := &Live{
+		prefix:    prefix,
 		cells:     publishInt(prefix + ".cells_done"),
 		total:     publishInt(prefix + ".cells_total"),
 		branches:  publishInt(prefix + ".branches"),
@@ -72,8 +121,20 @@ func New(prefix string) *Live {
 		startedAt: publishString(prefix + ".started_at"),
 	}
 	l.startedAt.Set(l.start.Format(time.RFC3339))
-	return l
+	return l, nil
 }
+
+// Release returns the prefix to the registry so a later run can acquire
+// it. The expvar variables keep their final values until reacquisition
+// re-zeroes them (expvar cannot unpublish). Release is idempotent.
+func (l *Live) Release() {
+	regMu.Lock()
+	delete(inUse, l.prefix)
+	regMu.Unlock()
+}
+
+// Prefix reports the prefix this handle publishes under.
+func (l *Live) Prefix() string { return l.prefix }
 
 // Observe records one completed simulation cell. total is the fan-out
 // size of the current run (suite drivers may run several fan-outs; the
@@ -85,22 +146,63 @@ func (l *Live) Observe(total int, branches, instructions int64) {
 	l.instr.Add(instructions)
 }
 
+// Cells reports the completed-cell count — the daemon's job registry
+// reads it back for status endpoints.
+func (l *Live) Cells() int64 { return l.cells.Value() }
+
+// DebugServer is a running expvar HTTP endpoint with a shutdown path.
+// The old ServeDebug leaked its listener and http.Server for the process
+// lifetime — there was no way to release the port or stop the serve
+// goroutine, so tests could not clean up and a daemon could not drain.
+type DebugServer struct {
+	addr net.Addr
+	srv  *http.Server
+	done chan struct{} // closed when Serve returns
+}
+
 // ServeDebug starts an HTTP listener on addr (e.g. "localhost:0" or
-// ":8080") serving the expvar JSON on every path, and returns the bound
-// address so callers can print it (and tests can dial it). The server
-// runs until the process exits; a long suite run is then inspectable
-// with: curl http://<addr>/debug/vars
-func ServeDebug(addr string) (net.Addr, error) {
+// ":8080") serving the expvar JSON on every path. Close (or Shutdown)
+// the returned server to unblock the serve goroutine and free the port;
+// while running, inspect it with: curl http://<Addr>/debug/vars
+func ServeDebug(addr string) (*DebugServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("live: expvar listener: %w", err)
 	}
-	srv := &http.Server{Handler: expvar.Handler()}
+	d := &DebugServer{
+		addr: ln.Addr(),
+		srv:  &http.Server{Handler: expvar.Handler()},
+		done: make(chan struct{}),
+	}
 	go func() {
-		// The listener lives for the whole process; Serve only returns
-		// on a fatal accept error, which a diagnostics endpoint can
-		// safely ignore.
-		_ = srv.Serve(ln)
+		defer close(d.done)
+		// Serve returns http.ErrServerClosed after Close/Shutdown; any
+		// other accept error just ends a diagnostics endpoint.
+		_ = d.srv.Serve(ln)
 	}()
-	return ln.Addr(), nil
+	return d, nil
+}
+
+// Addr reports the bound address, so callers can print it and tests can
+// dial it.
+func (d *DebugServer) Addr() net.Addr { return d.addr }
+
+// Close immediately closes the listener and any active connections,
+// then waits for the serve goroutine to exit — after Close returns the
+// port is free to rebind.
+func (d *DebugServer) Close() error {
+	err := d.srv.Close()
+	<-d.done
+	return err
+}
+
+// Shutdown gracefully stops the server: no new connections, in-flight
+// requests run to completion (or until ctx expires). The serve
+// goroutine has exited when Shutdown returns nil.
+func (d *DebugServer) Shutdown(ctx context.Context) error {
+	if err := d.srv.Shutdown(ctx); err != nil {
+		return err
+	}
+	<-d.done
+	return nil
 }

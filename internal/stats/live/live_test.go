@@ -2,14 +2,30 @@ package live
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
+	"sync"
 	"testing"
+	"time"
 )
 
-func TestObserveAndIdempotentPublish(t *testing.T) {
-	l := New("live_test")
+// acquire claims a prefix for a test, failing the test on collision and
+// releasing it on cleanup.
+func acquire(t *testing.T, prefix string) *Live {
+	t.Helper()
+	l, err := Acquire(prefix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(l.Release)
+	return l
+}
+
+func TestObserveAndReacquire(t *testing.T) {
+	l := acquire(t, "live_test")
 	l.Observe(4, 100, 1000)
 	l.Observe(4, 50, 500)
 	if got := l.cells.Value(); got != 2 {
@@ -21,22 +37,73 @@ func TestObserveAndIdempotentPublish(t *testing.T) {
 	if got := l.total.Value(); got != 4 {
 		t.Errorf("cells_total = %d, want 4", got)
 	}
-	// A second New with the same prefix must not panic (expvar forbids
-	// duplicate Publish) and must re-zero the progress counters.
-	l2 := New("live_test")
+	// Release then re-Acquire must not panic (expvar forbids duplicate
+	// Publish) and must re-zero the progress counters.
+	l.Release()
+	l2 := acquire(t, "live_test")
 	if got := l2.cells.Value(); got != 0 {
-		t.Errorf("re-published cells_done = %d, want 0", got)
+		t.Errorf("re-acquired cells_done = %d, want 0", got)
+	}
+}
+
+// TestAcquireCollision pins the isolation contract: a second concurrent
+// Acquire of a live prefix fails with the typed *PrefixError instead of
+// silently merging two runs' counters.
+func TestAcquireCollision(t *testing.T) {
+	acquire(t, "live_collision_test")
+	second, err := Acquire("live_collision_test")
+	if err == nil {
+		second.Release()
+		t.Fatal("second Acquire of a live prefix succeeded")
+	}
+	var pe *PrefixError
+	if !errors.As(err, &pe) {
+		t.Fatalf("collision error %T is not *live.PrefixError", err)
+	}
+	if pe.Prefix != "live_collision_test" {
+		t.Errorf("collision error names prefix %q", pe.Prefix)
+	}
+}
+
+// TestConcurrentObserversIsolated is the regression test for the
+// process-global merge bug: two runs observing concurrently under
+// DIFFERENT prefixes must each count exactly their own cells. (Before
+// the registry, a daemon's concurrent jobs shared one prefix and their
+// counters merged silently.)
+func TestConcurrentObserversIsolated(t *testing.T) {
+	a := acquire(t, "live_iso_a")
+	b := acquire(t, "live_iso_b")
+	const perRun = 500
+	var wg sync.WaitGroup
+	for _, l := range []*Live{a, b} {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perRun; i++ {
+				l.Observe(perRun, 10, 100)
+			}
+		}()
+	}
+	wg.Wait()
+	for name, l := range map[string]*Live{"a": a, "b": b} {
+		if got := l.cells.Value(); got != perRun {
+			t.Errorf("run %s counted %d cells, want exactly its own %d", name, got, perRun)
+		}
+		if got := l.branches.Value(); got != perRun*10 {
+			t.Errorf("run %s counted %d branches, want %d", name, got, perRun*10)
+		}
 	}
 }
 
 func TestServeDebug(t *testing.T) {
-	l := New("live_serve_test")
+	l := acquire(t, "live_serve_test")
 	l.Observe(8, 1234, 9999)
-	addr, err := ServeDebug("127.0.0.1:0")
+	d, err := ServeDebug("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
-	resp, err := http.Get(fmt.Sprintf("http://%s/debug/vars", addr))
+	defer d.Close()
+	resp, err := http.Get(fmt.Sprintf("http://%s/debug/vars", d.Addr()))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -51,5 +118,55 @@ func TestServeDebug(t *testing.T) {
 	}
 	if got, ok := vars["live_serve_test.branches"]; !ok || got.(float64) != 1234 {
 		t.Errorf("live_serve_test.branches = %v (present=%v)", got, ok)
+	}
+}
+
+// TestServeDebugCloseFreesPort is the regression test for the listener
+// leak: Close must unblock the serve goroutine and release the port, so
+// the same address can be bound again. (The old ServeDebug returned only
+// the address; the listener and http.Server lived until process exit.)
+func TestServeDebugCloseFreesPort(t *testing.T) {
+	d, err := ServeDebug("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := d.Addr().String()
+	if err := d.Close(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		t.Fatalf("Close: %v", err)
+	}
+	// Close waits for Serve to return; the done channel must be closed.
+	select {
+	case <-d.done:
+	default:
+		t.Fatal("Close returned but the serve goroutine is still running")
+	}
+	// The exact port must be rebindable — the leak held it forever.
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatalf("port %s not released after Close: %v", addr, err)
+	}
+	ln.Close()
+	// And the endpoint must actually be down.
+	client := http.Client{Timeout: 500 * time.Millisecond}
+	if resp, err := client.Get("http://" + addr + "/debug/vars"); err == nil {
+		resp.Body.Close()
+		t.Error("endpoint still serving after Close")
+	}
+}
+
+// TestServeDebugShutdown covers the graceful path: Shutdown returns nil
+// on an idle server and the serve goroutine exits.
+func TestServeDebugShutdown(t *testing.T) {
+	d, err := ServeDebug("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Shutdown(t.Context()); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	select {
+	case <-d.done:
+	default:
+		t.Fatal("Shutdown returned nil but the serve goroutine is still running")
 	}
 }

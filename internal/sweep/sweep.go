@@ -51,10 +51,19 @@ func Run(factory Factory, xs []int, profs []workload.Profile, instrBudget int64,
 // repeated sweep whose cells are all cached re-runs with zero simulation
 // work.
 func RunPool(factory Factory, xs []int, profs []workload.Profile, instrBudget int64, opts sim.Options, pool sim.PoolOptions) ([]Point, error) {
+	return RunPoolCtx(context.Background(), factory, xs, profs, instrBudget, opts, pool)
+}
+
+// RunPoolCtx is RunPool under a caller-supplied context: canceling ctx
+// interrupts the sweep mid-cell (see sim.ErrCanceled) instead of letting
+// it run to completion — the serving layer (internal/serve) uses this to
+// stop paying for a job whose tenant disconnected or whose daemon is
+// draining.
+func RunPoolCtx(ctx context.Context, factory Factory, xs []int, profs []workload.Profile, instrBudget int64, opts sim.Options, pool sim.PoolOptions) ([]Point, error) {
 	if len(xs) == 0 {
 		return nil, fmt.Errorf("sweep: no parameter values")
 	}
-	rs, err := sim.RunCells(context.Background(), Cells(factory, xs, profs, opts), instrBudget, pool)
+	rs, err := sim.RunCells(ctx, Cells(factory, xs, profs, opts), instrBudget, pool)
 	if err != nil {
 		return nil, fmt.Errorf("sweep: %w", err)
 	}
