@@ -16,18 +16,21 @@ all: build vet test
 # resume-equivalence and cache-correctness suites (checkpointed-and-
 # resumed runs and cache hits must be byte-identical to straight
 # recomputation), the sharded-sweep gate (split/merge byte-identical to
-# single-process, see shard-gate), the batch-kernel differential suite (runs routed through
-# LookupBatch/UpdateBatch must be byte-identical to the scalar fused
-# path), a snapshot-decode fuzz smoke, and benchmark smokes so neither
+# single-process, see shard-gate), the batch-kernel differential suite
+# (runs routed through LookupBatch/UpdateBatch — including the EV8 model
+# via the batched block contract — must be byte-identical to the scalar
+# fused path, with an EV8 block-boundary fuzz smoke), a snapshot-decode
+# fuzz smoke, and benchmark smokes so neither
 # the testing.B harness nor the per-predictor microbenchmarks can rot.
 check:
 	$(GO) vet ./...
 	$(MAKE) staticcheck
 	$(GO) build ./...
 	$(GO) test -race ./...
-	$(GO) test -run 'TestHotPathZeroAllocs|TestDelayedUpdateZeroAllocsSteadyState|TestEnsembleZeroAllocsSteadyState|TestBatchZeroAllocsSteadyState|TestBatchKernelZeroAllocs' -count=1 .
+	$(GO) test -run 'TestHotPathZeroAllocs|TestDelayedUpdateZeroAllocsSteadyState|TestEnsembleZeroAllocsSteadyState|TestBatchZeroAllocsSteadyState|TestBatchKernelZeroAllocs|TestEV8BatchZeroAllocsSteadyState' -count=1 .
 	$(GO) test -run 'TestEnsemble' -count=1 . ./internal/sim/
-	$(GO) test -run 'TestBatch' -count=1 . ./internal/core/ ./internal/predictor/... ./internal/trace/
+	$(GO) test -run 'TestBatch|TestEV8Batch|TestEV8Ensemble|TestStagedIndex|TestLookupBatch' -count=1 . ./internal/core/ ./internal/ev8/ ./internal/predictor/... ./internal/trace/
+	$(GO) test -fuzz FuzzEV8BatchBlockBoundaries -fuzztime 30s -run '^$$' .
 	$(GO) test -run 'TestFault' -count=1 ./internal/trace/faultinject/
 	$(GO) test -fuzz FuzzReader -fuzztime 30s -run '^$$' ./internal/trace/
 	$(GO) test -run 'TestResume|TestWarmEnsemble' -count=1 .

@@ -22,6 +22,24 @@
 // with a matching entry — the speedup against that committed reference,
 // the acceptance number for the sub-50 ns/branch roadmap item.
 //
+// A second section, end_to_end, measures the FULL simulation loop
+// (workload generator + front-end tracker + predictor) rather than the
+// prerecorded replay, once with the scalar schedule forced (-batch off)
+// and once with the chunked kernel forced (-batch on):
+//
+//   - table1_ev8: sim.Run of the as-shipped Table 1 EV8 configuration,
+//     the repository's headline number; its speedup_vs_baseline compares
+//     the batch path against end_to_end.table1_ev8 in
+//     BENCH_baseline.json, the acceptance number for the sub-200
+//     ns/branch roadmap item;
+//
+//   - ev8_cascade: sim.RunEnsemble over the EV8-mode roster (the EV8,
+//     the unconstrained ConfigEV8Size 2Bc-gskew, and the §9 cascade) —
+//     the cascade alone is not a batch predictor, but the ensemble's
+//     staged fetch-block fan-out lets its siblings run chunked around
+//     it. ns/branch is per STREAM branch (each branch visits all three
+//     members).
+//
 // `make bench-kernel` regenerates the committed snapshot.
 package main
 
@@ -34,8 +52,15 @@ import (
 	"runtime"
 	"time"
 
+	"ev8pred/internal/core"
+	"ev8pred/internal/ev8"
+	"ev8pred/internal/frontend"
 	"ev8pred/internal/hotbench"
 	"ev8pred/internal/predictor"
+	"ev8pred/internal/predictor/cascade"
+	"ev8pred/internal/predictor/perceptron"
+	"ev8pred/internal/sim"
+	"ev8pred/internal/workload"
 )
 
 // metric is one measured path of one configuration.
@@ -69,13 +94,18 @@ type snapshot struct {
 	BranchesPerCase int64            `json:"branches_per_case"`
 	BaselineFile    string           `json:"baseline_file,omitempty"`
 	Predictors      map[string]entry `json:"predictors"`
+	EndToEnd        map[string]entry `json:"end_to_end"`
+}
+
+// baselineRef is one reference number read from BENCH_baseline.json.
+type baselineRef struct {
+	NsPerBranch float64 `json:"ns_per_branch"`
 }
 
 // baselineDoc is the slice of BENCH_baseline.json this tool reads.
 type baselineDoc struct {
-	Predictors map[string]struct {
-		NsPerBranch float64 `json:"ns_per_branch"`
-	} `json:"predictors"`
+	Predictors map[string]baselineRef `json:"predictors"`
+	EndToEnd   map[string]baselineRef `json:"end_to_end"`
 }
 
 func main() {
@@ -126,6 +156,7 @@ func run(args []string, out io.Writer) error {
 		BranchesPerCase: *branches,
 		BaselineFile:    refName,
 		Predictors:      map[string]entry{},
+		EndToEnd:        map[string]entry{},
 	}
 
 	for _, c := range hotbench.Cases() {
@@ -174,6 +205,37 @@ func run(args []string, out io.Writer) error {
 		doc.Predictors[c.Name] = e
 	}
 
+	// End-to-end section: the full simulation loop with the batch schedule
+	// forced off, then on. sim guarantees byte-identical Results in both
+	// modes (the differential suites are the gate); this section records
+	// what the schedule is worth in wall-clock.
+	for _, c := range []struct {
+		name string
+		run  func(n int64, mode sim.BatchMode) error
+	}{
+		{"table1_ev8", runTable1},
+		{"ev8_cascade", runCascadeEnsemble},
+	} {
+		scalar, err := measureOnce(*branches, func(n int64) error { return c.run(n, sim.BatchOff) })
+		if err != nil {
+			return fmt.Errorf("%s scalar: %w", c.name, err)
+		}
+		batch, err := measureOnce(*branches, func(n int64) error { return c.run(n, sim.BatchOn) })
+		if err != nil {
+			return fmt.Errorf("%s batch: %w", c.name, err)
+		}
+		e := entry{
+			Scalar:               scalar,
+			Batch:                batch,
+			SpeedupBatchVsScalar: scalar.NsPerBranch / batch.NsPerBranch,
+		}
+		if r, ok := ref.EndToEnd[c.name]; ok && r.NsPerBranch > 0 {
+			e.BaselineNsPerBranch = r.NsPerBranch
+			e.SpeedupVsBaseline = r.NsPerBranch / batch.NsPerBranch
+		}
+		doc.EndToEnd[c.name] = e
+	}
+
 	data, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		return err
@@ -184,6 +246,99 @@ func run(args []string, out io.Writer) error {
 	}
 	_, err = out.Write(data)
 	return err
+}
+
+// runTable1 executes one cold sim.Run of the Table 1 EV8 configuration
+// over the gcc workload with the given batch schedule.
+func runTable1(n int64, mode sim.BatchMode) error {
+	prof, err := workload.ByName("gcc")
+	if err != nil {
+		return err
+	}
+	src, err := workload.New(prof, 0)
+	if err != nil {
+		return err
+	}
+	p, err := ev8.New(ev8.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	r, err := sim.Run(p, src, sim.Options{Mode: frontend.ModeEV8(), MaxBranches: n, Batch: mode})
+	if err != nil {
+		return err
+	}
+	if r.Branches == 0 {
+		return fmt.Errorf("degenerate end-to-end run: %+v", r)
+	}
+	return nil
+}
+
+// runCascadeEnsemble executes one cold sim.RunEnsemble of the EV8-mode
+// roster — EV8, ConfigEV8Size 2Bc-gskew, and the §9 cascade — over one
+// shared gcc stream with the given batch schedule. The cascade is not a
+// batch predictor; the ensemble path replays it per branch between the
+// chunked members, which is exactly what makes this case worth timing.
+func runCascadeEnsemble(n int64, mode sim.BatchMode) error {
+	prof, err := workload.ByName("gcc")
+	if err != nil {
+		return err
+	}
+	src, err := workload.New(prof, 0)
+	if err != nil {
+		return err
+	}
+	factories := []sim.Factory{
+		func() (predictor.Predictor, error) { return ev8.New(ev8.DefaultConfig()) },
+		func() (predictor.Predictor, error) { return core.New(core.ConfigEV8Size()) },
+		func() (predictor.Predictor, error) {
+			primary, err := ev8.New(ev8.DefaultConfig())
+			if err != nil {
+				return nil, err
+			}
+			backup, err := perceptron.New(256, 12)
+			if err != nil {
+				return nil, err
+			}
+			return cascade.New(primary, backup, cascade.Config{OverrideEntries: 4096})
+		},
+	}
+	rs, err := sim.RunEnsemble(factories, src, sim.Options{Mode: frontend.ModeEV8(), MaxBranches: n, Batch: mode})
+	if err != nil {
+		return err
+	}
+	for i, r := range rs {
+		if r.Branches == 0 {
+			return fmt.Errorf("degenerate ensemble member %d: %+v", i, r)
+		}
+	}
+	return nil
+}
+
+// measureOnce times a single execution of run(branches) after a short
+// warm run — the end-to-end shape, where each call is a fresh cold
+// simulation rather than a replay loop over prerecorded events.
+func measureOnce(branches int64, run func(n int64) error) (metric, error) {
+	warm := branches
+	if warm > 1<<14 {
+		warm = 1 << 14
+	}
+	if err := run(warm); err != nil {
+		return metric{}, err
+	}
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	if err := run(branches); err != nil {
+		return metric{}, err
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	ns := float64(elapsed.Nanoseconds()) / float64(branches)
+	return metric{
+		NsPerBranch:     ns,
+		BranchesPerSec:  1e9 / ns,
+		AllocsPerBranch: float64(after.Mallocs-before.Mallocs) / float64(branches),
+	}, nil
 }
 
 // measure times fn(branches) and converts to per-branch metrics; the

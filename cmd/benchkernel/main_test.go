@@ -15,8 +15,10 @@ import (
 func TestRunWritesKernelSnapshot(t *testing.T) {
 	dir := t.TempDir()
 	ref := filepath.Join(dir, "baseline.json")
-	// A synthetic baseline with a known scalar reference for one entry.
-	if err := os.WriteFile(ref, []byte(`{"predictors":{"2bcg-512K":{"ns_per_branch":1000}}}`), 0o644); err != nil {
+	// A synthetic baseline with a known scalar reference for one replay
+	// entry and one end-to-end entry.
+	if err := os.WriteFile(ref, []byte(`{"predictors":{"2bcg-512K":{"ns_per_branch":1000}},`+
+		`"end_to_end":{"table1_ev8":{"ns_per_branch":2000}}}`), 0o644); err != nil {
 		t.Fatal(err)
 	}
 	path := filepath.Join(dir, "kernel.json")
@@ -38,7 +40,7 @@ func TestRunWritesKernelSnapshot(t *testing.T) {
 	if doc.Schema != 1 {
 		t.Errorf("schema = %d, want 1", doc.Schema)
 	}
-	for _, name := range []string{"2bcg-512K", "2bcg-ev8size", "egskew", "gshare-2M"} {
+	for _, name := range []string{"ev8", "2bcg-512K", "2bcg-ev8size", "egskew", "gshare-2M"} {
 		e, ok := doc.Predictors[name]
 		if !ok {
 			t.Errorf("missing predictor %q", name)
@@ -62,8 +64,28 @@ func TestRunWritesKernelSnapshot(t *testing.T) {
 			e.SpeedupVsBaseline, e.Batch.NsPerBranch)
 	}
 	// Non-batch roster entries must not appear.
-	if _, ok := doc.Predictors["ev8"]; ok {
+	if _, ok := doc.Predictors["bimodal"]; ok {
 		t.Error("non-batch predictor measured")
+	}
+	// The end-to-end section measures the full simulation loop on both
+	// schedules and resolves its own baseline references.
+	for _, name := range []string{"table1_ev8", "ev8_cascade"} {
+		e, ok := doc.EndToEnd[name]
+		if !ok {
+			t.Errorf("missing end-to-end case %q", name)
+			continue
+		}
+		if e.Scalar.NsPerBranch <= 0 || e.Batch.NsPerBranch <= 0 || e.SpeedupBatchVsScalar <= 0 {
+			t.Errorf("%s: non-positive rate: %+v", name, e)
+		}
+	}
+	ee := doc.EndToEnd["table1_ev8"]
+	if ee.BaselineNsPerBranch != 2000 {
+		t.Errorf("end-to-end baseline reference not echoed: %+v", ee)
+	}
+	if ee.SpeedupVsBaseline != 2000/ee.Batch.NsPerBranch {
+		t.Errorf("end-to-end baseline speedup %v inconsistent with batch %v ns/branch",
+			ee.SpeedupVsBaseline, ee.Batch.NsPerBranch)
 	}
 }
 

@@ -5,7 +5,8 @@
 //
 //	ev8bench [-experiment all|none|table1|table2|fig5|...|ablations|perf|smt|backup]
 //	         [-instructions N] [-benchmarks gcc,go,...] [-o report.txt]
-//	         [-j workers] [-ensemble auto|on|off] [-cache DIR] [-shard k/N] [-v]
+//	         [-j workers] [-ensemble auto|on|off] [-batch auto|on|off]
+//	         [-cache DIR] [-shard k/N] [-v]
 //	         [-stats] [-json stats.json] [-csv stats.csv]
 //	         [-expvar localhost:8080]
 //	         [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
@@ -128,6 +129,7 @@ func run(args []string, out, errw io.Writer) error {
 		outPath      = fs.String("o", "", "write the report to this file instead of stdout")
 		workers      = fs.Int("j", 0, "parallel simulation cells (0 = one per CPU, 1 = serial)")
 		ensemble     = fs.String("ensemble", "auto", "single-pass ensemble scheduling: auto|on|off (results identical in every mode)")
+		batch        = fs.String("batch", "auto", "batch-kernel scheduling: auto|on|off (results identical in every mode; on fails if a cell is ineligible)")
 		verbose      = fs.Bool("v", false, "print a progress/throughput counter to stderr")
 		statsSuite   = fs.Bool("stats", false, "run the EV8 component-attribution suite and emit it as JSON")
 		jsonPath     = fs.String("json", "", "write the -stats JSON to this file instead of the report stream")
@@ -185,7 +187,14 @@ func run(args []string, out, errw io.Writer) error {
 	if err != nil {
 		return err
 	}
-	cfg := experiments.Config{Instructions: *instructions, Workers: *workers, Ensemble: ensembleMode}
+	if err := cliflag.Enum("batch", *batch, "auto", "on", "off"); err != nil {
+		return err
+	}
+	batchMode, err := sim.ParseBatchMode(*batch)
+	if err != nil {
+		return err
+	}
+	cfg := experiments.Config{Instructions: *instructions, Workers: *workers, Ensemble: ensembleMode, Batch: batchMode}
 	if *benchmarks == "" {
 		cfg.Benchmarks = workload.Benchmarks()
 	} else {
@@ -366,7 +375,7 @@ func run(args []string, out, errw io.Writer) error {
 // and returns the machine-readable records — the -stats payload.
 func runStatsSuite(cfg experiments.Config) ([]report.Run, error) {
 	factory := func() (predictor.Predictor, error) { return ev8.New(ev8.DefaultConfig()) }
-	opts := sim.Options{Mode: frontend.ModeEV8(), Collect: true}
+	opts := sim.Options{Mode: frontend.ModeEV8(), Collect: true, Batch: cfg.Batch}
 	results, err := sim.RunCells(context.Background(),
 		sim.SuiteCells(factory, cfg.Benchmarks, opts), cfg.Instructions,
 		sim.PoolOptions{

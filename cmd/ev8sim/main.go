@@ -35,6 +35,7 @@ import (
 	"sort"
 	"strings"
 
+	"ev8pred/internal/cliflag"
 	"ev8pred/internal/core"
 	"ev8pred/internal/ev8"
 	"ev8pred/internal/frontend"
@@ -113,6 +114,7 @@ func run(args []string, out io.Writer) error {
 		threads      = fs.Int("threads", 1, "SMT: interleave N copies of each benchmark")
 		quantum      = fs.Int64("quantum", 1000, "SMT: instructions per thread switch")
 		collect      = fs.Bool("stats", false, "collect component-attribution counters (predictors that support them)")
+		batch        = fs.String("batch", "auto", "batch-kernel scheduling: auto|on|off (results identical in every mode; on fails if the run is ineligible)")
 		saveCk       = fs.String("save-checkpoint", "", "stop after -checkpoint-branches conditional branches and write a resumable checkpoint to this file (single predictor, single workload)")
 		ckBranches   = fs.Int64("checkpoint-branches", 0, "conditional-branch cut point for -save-checkpoint")
 		resumePath   = fs.String("resume", "", "resume from a checkpoint written by -save-checkpoint and run the source dry (same -mode and predictor required)")
@@ -126,7 +128,14 @@ func run(args []string, out io.Writer) error {
 	if !ok {
 		return fmt.Errorf("unknown mode %q", *modeName)
 	}
-	opts := sim.Options{Mode: mode, Collect: *collect}
+	if err := cliflag.Enum("batch", *batch, "auto", "on", "off"); err != nil {
+		return err
+	}
+	batchMode, err := sim.ParseBatchMode(*batch)
+	if err != nil {
+		return err
+	}
+	opts := sim.Options{Mode: mode, Collect: *collect, Batch: batchMode}
 
 	var names []string
 	for _, n := range strings.Split(*predictors, ",") {

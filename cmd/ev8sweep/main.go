@@ -86,6 +86,7 @@ func run(args []string, out io.Writer) error {
 		modeName     = fs.String("mode", "ghist", "information vector: ghist|lghist|ev8")
 		workers      = fs.Int("j", 0, "parallel simulation cells (0 = one per CPU, 1 = serial)")
 		ensemble     = fs.String("ensemble", "auto", "single-pass ensemble scheduling: auto|on|off (results identical in every mode)")
+		batch        = fs.String("batch", "auto", "batch-kernel scheduling: auto|on|off (results identical in every mode; on fails if a cell is ineligible)")
 		collect      = fs.Bool("stats", false, "collect component-attribution counters (predictors that support them)")
 		cacheDir     = fs.String("cache", "", "content-addressed result cache directory (e.g. "+cache.DefaultDir+"; empty = no caching)")
 		verbose      = fs.Bool("v", false, "print harness diagnostics (cache hit/miss summary, refused entries) to stderr")
@@ -141,6 +142,13 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	if err := cliflag.Enum("batch", *batch, "auto", "on", "off"); err != nil {
+		return err
+	}
+	batchMode, err := sim.ParseBatchMode(*batch)
+	if err != nil {
+		return err
+	}
 	pool := sim.PoolOptions{Workers: *workers, Ensemble: ensembleMode}
 	if *verbose {
 		pool.Log = func(format string, args ...interface{}) {
@@ -161,7 +169,7 @@ func run(args []string, out io.Writer) error {
 			}
 		}()
 	}
-	opts := sim.Options{Mode: mode, Workers: *workers, Collect: *collect, Ensemble: ensembleMode}
+	opts := sim.Options{Mode: mode, Workers: *workers, Collect: *collect, Ensemble: ensembleMode, Batch: batchMode}
 
 	var pts []sweep.Point
 	switch {

@@ -174,13 +174,20 @@ const (
 )
 
 // Batch scheduling modes (see Options.Batch). Results are byte-identical
-// in both modes; the knob exists for differential testing and debugging.
+// in every mode; the knob exists for differential testing and debugging.
 const (
 	// BatchAuto routes eligible runs through the batch kernel (default).
 	BatchAuto = sim.BatchAuto
 	// BatchOff forces the scalar fused path.
 	BatchOff = sim.BatchOff
+	// BatchOn requires the batch kernel: ineligible runs fail with
+	// ErrBatchIneligible instead of silently falling back to scalar.
+	BatchOn = sim.BatchOn
 )
+
+// ErrBatchIneligible reports a BatchOn run that cannot take the batch
+// kernel; the wrapping error names the disqualifying condition.
+var ErrBatchIneligible = sim.ErrBatchIneligible
 
 // RunEnsemble simulates every factory-built predictor over ONE shared
 // pass of src: the stream is advanced once and its front-end state

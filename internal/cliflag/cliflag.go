@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"net"
 	"strconv"
+	"strings"
 )
 
 // Error describes one rejected flag value: which flag, what value, why.
@@ -46,6 +47,20 @@ func Positive(flag string, v int64) error {
 			Reason: "value must be positive"}
 	}
 	return nil
+}
+
+// Enum validates a flag restricted to a fixed set of spellings (schedule
+// modes like -batch and -ensemble auto|on|off), so every CLI rejects a
+// typo with the same typed error shape instead of each reimplementing
+// the check.
+func Enum(flag, value string, allowed ...string) error {
+	for _, a := range allowed {
+		if value == a {
+			return nil
+		}
+	}
+	return &Error{Flag: flag, Value: value,
+		Reason: "want " + strings.Join(allowed, "|")}
 }
 
 // HostPort validates a listen address of the form "host:port" (host may

@@ -42,6 +42,13 @@ type Config struct {
 	// on forces it, off forces per-cell runs. Rendered tables are
 	// byte-identical in every mode.
 	Ensemble sim.EnsembleMode
+	// Batch selects the batch-kernel schedule for every simulation cell:
+	// auto (the zero value) lets each run choose, on demands the chunked
+	// kernel and fails a cell that is ineligible (sim.ErrBatchIneligible —
+	// the ablation grid's delayed-update columns, for example), off forces
+	// the scalar path. A schedule knob only: rendered tables are
+	// byte-identical in every mode, and the result cache keys ignore it.
+	Batch sim.BatchMode
 	// Progress, if non-nil, receives one event per completed simulation
 	// cell (cmd/ev8bench -v wires a throughput counter here).
 	Progress sim.ProgressFunc
@@ -161,6 +168,13 @@ func suite(cfg Config, opts sim.Options, factory sim.Factory) ([]sim.Result, err
 // so sharding refuses it loudly instead of silently computing it
 // everywhere or nowhere.
 func runCells(cfg Config, cells []sim.Cell) ([]sim.Result, error) {
+	// The batch schedule is a harness-wide knob, not a per-experiment one:
+	// apply it to every cell here so -batch reaches each grid uniformly.
+	if cfg.Batch != sim.BatchAuto {
+		for i := range cells {
+			cells[i].Opts.Batch = cfg.Batch
+		}
+	}
 	if cfg.Shards <= 1 {
 		return sim.RunCells(context.Background(), cells, cfg.Instructions, cfg.pool())
 	}

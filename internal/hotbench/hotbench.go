@@ -53,7 +53,7 @@ type Case struct {
 // 2Bc-gskew presets, and the classical baselines for scale.
 func Cases() []Case {
 	return []Case{
-		{Name: "ev8", Mode: frontend.ModeEV8(), Gated: true,
+		{Name: "ev8", Mode: frontend.ModeEV8(), Gated: true, Batch: true,
 			New: func() (predictor.Predictor, error) { return ev8.New(ev8.DefaultConfig()) }},
 		{Name: "2bcg-512K", Mode: frontend.ModeGhist(), Gated: true, Batch: true,
 			New: func() (predictor.Predictor, error) { return core.New(core.Config512K()) }},

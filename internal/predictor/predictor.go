@@ -179,6 +179,49 @@ type BatchPredictor interface {
 	UpdateBatch(snaps []Snapshot, taken, finals []uint64)
 }
 
+// BlockBatchObserver is the batched block contract: the extension of
+// BatchPredictor for predictors whose index functions observe the fetch-
+// block stream (sim.BlockObserver — the EV8 §6.2 bank sequencer). Such a
+// predictor's index set is NOT a pure function of the information vector:
+// it also depends on sequencing state that advances on every fetch block,
+// between branches. That state is still a deterministic function of the
+// record stream, so the simulator's staged front-end walk can capture it
+// per branch — StageBank is called for each conditional branch at exactly
+// the point the scalar loop would call Lookup (immediately after the
+// branch's record is processed, after any fetch blocks it completed were
+// observed) — and the index pass then runs over the whole chunk from the
+// captured values.
+//
+// The contract extends BatchPredictor's exact-scalar-equivalence: for a
+// chunk staged this way,
+//
+//	banks[i] = StageBank(infos[i].BlockPC)   // during the front-end walk
+//	LookupBankedBatch(infos, banks, snaps)
+//	UpdateBatch(snaps, taken, finals)
+//
+// must equal the scalar Lookup/UpdateWith interleaving at update delay 0.
+// LookupBankedBatch is the banked twin of LookupBatch: it fills only
+// snaps[i].Idx, touches no counter state, and must not consult the live
+// sequencer — every sequencer-dependent input is in banks. StageBank is a
+// pure read of the sequencer (no state advances). None of the three calls
+// may allocate.
+//
+// The plain LookupBatch remains valid when no blocks advance inside the
+// chunk (prerecorded-event replay): with the sequencer frozen, reading it
+// live per branch is exactly what scalar replay does.
+type BlockBatchObserver interface {
+	BatchPredictor
+	// StageBank returns the bank-sequencing input the index functions
+	// would read for a branch in the fetch block at blockPC, at the
+	// current sequencing position.
+	StageBank(blockPC uint64) uint8
+	// LookupBankedBatch stages the pure index computation for a chunk
+	// from pre-captured bank values: snaps[i].Idx = the index set Lookup
+	// would derive from infos[i] when the sequencer maps infos[i].BlockPC
+	// to banks[i]. len(banks) and len(snaps) must equal len(infos).
+	LookupBankedBatch(infos []history.Info, banks []uint8, snaps []Snapshot)
+}
+
 // BatchWords returns the packed-bitset word count UpdateBatch requires
 // for a chunk of n branches.
 func BatchWords(n int) int { return (n + 63) / 64 }

@@ -12,18 +12,29 @@
 //     the ring; a chunked schedule cannot reproduce that interleaving
 //     without running branch-at-a-time anyway, so delayed runs keep the
 //     scalar path (that path is also where scalar wins — see the docs).
-//   - The predictor must not observe fetch blocks (BlockObserver): the
-//     EV8 §6.2 sequencer advances on every block, between branches, and
-//     stays on the scalar path by design.
-//   - Options.Batch can force the scalar path (BatchOff) for
-//     differential testing; the default (BatchAuto) engages whenever the
-//     run is eligible, precisely because results are identical.
+//   - A predictor that observes fetch blocks (BlockObserver — the EV8
+//     §6.2 sequencer advances on every block, between branches) must
+//     also implement predictor.BlockBatchObserver, the batched block
+//     contract: the staged front-end walk captures the sequencer-
+//     dependent bank per branch (StageBank) at the exact scalar
+//     interleaving point, and the index pass runs from the captured
+//     values (LookupBankedBatch). Block observers without the contract
+//     keep the scalar path.
+//   - Options.Batch selects the schedule: BatchAuto (the default)
+//     engages the kernel whenever the run is eligible, precisely because
+//     results are identical; BatchOff forces the scalar path
+//     (differential testing); BatchOn demands the kernel and makes
+//     ineligibility a typed error (ErrBatchIneligible) instead of a
+//     silent scalar fallback, so benchmarks measure what they claim to.
 package sim
 
 import (
+	"errors"
+	"fmt"
 	"io"
 	"math/bits"
 
+	"ev8pred/internal/frontend"
 	"ev8pred/internal/history"
 	"ev8pred/internal/predictor"
 	"ev8pred/internal/trace"
@@ -31,7 +42,7 @@ import (
 
 // BatchMode selects whether sim.Run and RunEnsemble may route eligible
 // runs through the batch kernel. Like Workers and Ensemble it chooses a
-// schedule, never a result: both modes are byte-identical (the batch
+// schedule, never a result: all modes are byte-identical (the batch
 // differential suite pins that), so it is excluded from cache keys.
 type BatchMode int
 
@@ -41,6 +52,9 @@ const (
 	BatchAuto BatchMode = iota
 	// BatchOff forces the scalar fused path.
 	BatchOff
+	// BatchOn requires the batch path: an ineligible run fails with
+	// ErrBatchIneligible instead of silently falling back to scalar.
+	BatchOn
 )
 
 // String renders the mode for flags and logs.
@@ -50,9 +64,55 @@ func (m BatchMode) String() string {
 		return "auto"
 	case BatchOff:
 		return "off"
+	case BatchOn:
+		return "on"
 	default:
 		return "invalid"
 	}
+}
+
+// ParseBatchMode parses the CLI spelling of a BatchMode.
+func ParseBatchMode(s string) (BatchMode, error) {
+	switch s {
+	case "auto":
+		return BatchAuto, nil
+	case "on":
+		return BatchOn, nil
+	case "off":
+		return BatchOff, nil
+	default:
+		return BatchAuto, fmt.Errorf("sim: unknown batch mode %q (want auto|on|off)", s)
+	}
+}
+
+// ErrBatchIneligible reports a run that requested BatchOn but cannot take
+// the batch kernel; the wrapping error names the disqualifying condition.
+var ErrBatchIneligible = errors.New("sim: batch kernel required (BatchOn) but run is ineligible")
+
+// planBatch decides whether a single-predictor run may take the batch
+// kernel. It returns (bp, bs) non-nil when eligible; otherwise reason
+// names the disqualifying condition (for the BatchOn error).
+func planBatch(p predictor.Predictor, src trace.Source, opts Options, blockObserved bool) (predictor.BatchPredictor, trace.BatchSource, string) {
+	if opts.Batch == BatchOff {
+		return nil, nil, "batch kernel disabled (BatchOff)"
+	}
+	bp, ok := p.(predictor.BatchPredictor)
+	if !ok {
+		return nil, nil, fmt.Sprintf("predictor %s does not implement predictor.BatchPredictor", p.Name())
+	}
+	bs, ok := src.(trace.BatchSource)
+	if !ok {
+		return nil, nil, "source does not implement trace.BatchSource"
+	}
+	if opts.UpdateDelay != 0 {
+		return nil, nil, fmt.Sprintf("update delay %d requires the scalar path", opts.UpdateDelay)
+	}
+	if blockObserved {
+		if _, ok := p.(predictor.BlockBatchObserver); !ok {
+			return nil, nil, fmt.Sprintf("predictor %s observes fetch blocks without the batched block contract (predictor.BlockBatchObserver)", p.Name())
+		}
+	}
+	return bp, bs, ""
 }
 
 // batchChunk is the number of trace records staged per chunk. 1024
@@ -67,6 +127,7 @@ const batchChunk = 1024
 type batchScratch struct {
 	buf    []trace.Branch
 	infos  []history.Info
+	banks  []uint8
 	snaps  []predictor.Snapshot
 	taken  []uint64
 	finals []uint64
@@ -76,6 +137,7 @@ func newBatchScratch() *batchScratch {
 	return &batchScratch{
 		buf:    make([]trace.Branch, batchChunk),
 		infos:  make([]history.Info, batchChunk),
+		banks:  make([]uint8, batchChunk),
 		snaps:  make([]predictor.Snapshot, batchChunk),
 		taken:  make([]uint64, predictor.BatchWords(batchChunk)),
 		finals: make([]uint64, predictor.BatchWords(batchChunk)),
@@ -116,15 +178,29 @@ func warmupStart(branches, warmup int64, m int) int {
 
 // runBatchStream is the batch twin of run's scalar loop. The front-end
 // walk stays sequential and identical to the scalar loop (per-record
-// tracker state machine, warmup-gated instruction accounting); what gets
-// batched is everything per-branch downstream of it. Record consumption
-// is also identical: a fill never asks for more records than remaining
-// branches (MaxBranches - Branches), and since a record holds at most
-// one conditional branch, the stream position where the run stops — and
-// therefore Checkpoint.Records and warm-ensemble continuation — is the
-// same as scalar's stop-at-the-Nth-branch.
-func runBatchStream(bp predictor.BatchPredictor, bs trace.BatchSource, opts Options, res *Result, records *int64, trackers *trackerTable) error {
+// tracker state machine with the same onBlock wiring, warmup-gated
+// instruction accounting); what gets batched is everything per-branch
+// downstream of it. Record consumption is also identical: a fill never
+// asks for more records than remaining branches (MaxBranches - Branches),
+// and since a record holds at most one conditional branch, the stream
+// position where the run stops — and therefore Checkpoint.Records and
+// warm-ensemble continuation — is the same as scalar's
+// stop-at-the-Nth-branch.
+//
+// For a block-observing predictor (onBlock non-nil; planBatch has already
+// proven the predictor implements the batched block contract), the walk
+// additionally captures the sequencer-dependent bank number per
+// conditional branch, immediately after the branch's record advances the
+// tracker — the exact point the scalar loop would call Lookup. The §6.2
+// sequencer state is a deterministic function of the record stream and
+// disjoint from the counter tables, so observing the whole chunk's blocks
+// before resolving its branches commutes with the counter updates, and
+// the captured banks make the staged index pass equal to scalar's
+// branch-at-a-time evaluation.
+func runBatchStream(bp predictor.BatchPredictor, bs trace.BatchSource, opts Options, res *Result, records *int64, trackers *trackerTable, onBlock func(frontend.Block)) error {
 	s := newBatchScratch()
+	bbo, _ := bp.(predictor.BlockBatchObserver)
+	banked := onBlock != nil && bbo != nil
 	for {
 		want := batchChunk
 		if opts.MaxBranches > 0 {
@@ -144,7 +220,7 @@ func runBatchStream(bp predictor.BatchPredictor, bs trace.BatchSource, opts Opti
 			tr := trackers.lookup(b.Thread)
 			if tr == nil {
 				var err error
-				tr, err = trackers.create(b.Thread, opts, nil)
+				tr, err = trackers.create(b.Thread, opts, onBlock)
 				if err != nil {
 					return err
 				}
@@ -155,6 +231,9 @@ func runBatchStream(bp predictor.BatchPredictor, bs trace.BatchSource, opts Opti
 			}
 			if !isCond {
 				continue
+			}
+			if banked {
+				s.banks[m] = bbo.StageBank(info.BlockPC)
 			}
 			lane := uint(m) & 63
 			if lane == 0 {
@@ -169,7 +248,11 @@ func runBatchStream(bp predictor.BatchPredictor, bs trace.BatchSource, opts Opti
 		}
 		*records += int64(n)
 		if m > 0 {
-			bp.LookupBatch(s.infos[:m], s.snaps[:m])
+			if banked {
+				bbo.LookupBankedBatch(s.infos[:m], s.banks[:m], s.snaps[:m])
+			} else {
+				bp.LookupBatch(s.infos[:m], s.snaps[:m])
+			}
 			bp.UpdateBatch(s.snaps[:m], s.taken, s.finals)
 			start := warmupStart(res.Branches, opts.Warmup, m)
 			res.Mispredicts += countMispredicts(s.finals, s.taken, start, m)
@@ -191,13 +274,16 @@ func runBatchStream(bp predictor.BatchPredictor, bs trace.BatchSource, opts Opti
 }
 
 // runEnsembleBatchStream is the batch twin of runEnsemble's stream loop,
-// used at update delay 0 with no block observers. The shared front-end
-// walk stages a chunk of information vectors once, then each member
-// consumes the whole chunk: batch-capable members through their
-// LookupBatch/UpdateBatch kernels, everything else through a per-branch
-// loop over the staged infos. Beyond dropping the per-branch member
-// fan-out overhead, the chunked schedule is a cache-blocking win — a
-// member's tables stay hot across its 1024 consecutive branches instead
+// used at update delay 0 when every block-observing member implements the
+// batched block contract. The shared front-end walk stages a chunk of
+// information vectors once — firing the fetch-block fan-out exactly as the
+// scalar loop would, and capturing each block-observing member's
+// sequencer-dependent bank per branch — then each member consumes the
+// whole chunk: batch-capable members through their LookupBatch (or
+// LookupBankedBatch) / UpdateBatch kernels, everything else through a
+// per-branch loop over the staged infos. Beyond dropping the per-branch
+// member fan-out overhead, the chunked schedule is a cache-blocking win —
+// a member's tables stay hot across its 1024 consecutive branches instead
 // of being evicted K-1 times per branch by its peers. Reordering the
 // (branch, member) loop nest is safe because member state is private;
 // the shared front end is sequenced identically to the scalar loop.
@@ -205,12 +291,27 @@ func runBatchStream(bp predictor.BatchPredictor, bs trace.BatchSource, opts Opti
 // Returns (srcErr, err) with the same split as the scalar loop: srcErr
 // is a deferred mid-stream source failure (reported after results are
 // assembled), err an immediate abort (bad thread id).
-func runEnsembleBatchStream(members []member, src trace.Source, bs trace.BatchSource, opts Options, trackers *trackerTable, branches, instructions *int64) (srcErr, err error) {
+func runEnsembleBatchStream(members []member, src trace.Source, bs trace.BatchSource, opts Options, trackers *trackerTable, branches, instructions *int64, onBlock func(frontend.Block)) (srcErr, err error) {
 	s := newBatchScratch()
 	bps := make([]predictor.BatchPredictor, len(members))
+	bbos := make([]predictor.BlockBatchObserver, len(members))
+	banks := make([][]uint8, len(members))
+	var staged []int // members whose banks the walk captures
 	for k := range members {
 		if bp, ok := members[k].p.(predictor.BatchPredictor); ok {
 			bps[k] = bp
+		}
+		// A member needs staged banks only when its sequencer actually
+		// advances with the shared block stream; an unobserved
+		// BlockBatchObserver (none exist today) would keep a frozen
+		// sequencer, which plain LookupBatch reads live — still scalar-
+		// identical.
+		if bbo, ok := members[k].p.(predictor.BlockBatchObserver); ok && bps[k] != nil {
+			if _, isObs := members[k].p.(BlockObserver); isObs {
+				bbos[k] = bbo
+				banks[k] = make([]uint8, batchChunk)
+				staged = append(staged, k)
+			}
 		}
 	}
 	for {
@@ -230,7 +331,7 @@ func runEnsembleBatchStream(members []member, src trace.Source, bs trace.BatchSo
 			b := &s.buf[bi]
 			tr := trackers.lookup(b.Thread)
 			if tr == nil {
-				tr, err = trackers.create(b.Thread, opts, nil)
+				tr, err = trackers.create(b.Thread, opts, onBlock)
 				if err != nil {
 					return nil, err
 				}
@@ -241,6 +342,9 @@ func runEnsembleBatchStream(members []member, src trace.Source, bs trace.BatchSo
 			}
 			if !isCond {
 				continue
+			}
+			for _, k := range staged {
+				banks[k][m] = bbos[k].StageBank(info.BlockPC)
 			}
 			lane := uint(m) & 63
 			if lane == 0 {
@@ -258,7 +362,11 @@ func runEnsembleBatchStream(members []member, src trace.Source, bs trace.BatchSo
 			for k := range members {
 				mem := &members[k]
 				if bp := bps[k]; bp != nil {
-					bp.LookupBatch(s.infos[:m], s.snaps[:m])
+					if bbos[k] != nil {
+						bbos[k].LookupBankedBatch(s.infos[:m], banks[k][:m], s.snaps[:m])
+					} else {
+						bp.LookupBatch(s.infos[:m], s.snaps[:m])
+					}
 					bp.UpdateBatch(s.snaps[:m], s.taken, s.finals)
 					mem.mispredicts += countMispredicts(s.finals, s.taken, start, m)
 					continue

@@ -217,18 +217,39 @@ func runEnsemble(factories []Factory, src trace.Source, opts Options, ck *Checkp
 	}
 	bs, _ := src.(trace.BatchSource)
 
-	// At update delay 0 with no block observers the stream runs through
-	// the batch twin of this loop (internal/sim/batch.go): the shared
-	// front-end walk stages each chunk once, batch-capable members
-	// consume it through their LookupBatch/UpdateBatch kernels, and the
-	// rest replay the staged infos per branch — byte-identical results,
-	// pinned by the batch differential suite.
-	if opts.UpdateDelay == 0 && onBlock == nil && opts.Batch != BatchOff {
-		serr, err := runEnsembleBatchStream(members, src, bs, opts, &trackers, &branches, &instructions)
+	// At update delay 0 the stream runs through the batch twin of this
+	// loop (internal/sim/batch.go): the shared front-end walk stages
+	// each chunk once, batch-capable members consume it through their
+	// LookupBatch/UpdateBatch kernels, and the rest replay the staged
+	// infos per branch — byte-identical results, pinned by the batch
+	// differential suite. Block-observing members are allowed when they
+	// implement the batched block contract (predictor.BlockBatchObserver):
+	// the walk then captures their sequencer-dependent banks per branch
+	// at the exact scalar interleaving point. A block observer WITHOUT
+	// the contract forces the scalar loop — its per-branch state would
+	// have advanced past the whole staged chunk. Under BatchOn an
+	// ineligible ensemble is a typed error, never a silent fallback.
+	batchReason := ""
+	if opts.UpdateDelay != 0 {
+		batchReason = fmt.Sprintf("update delay %d requires the scalar path", opts.UpdateDelay)
+	} else if opts.Batch == BatchOff {
+		batchReason = "batch kernel disabled (BatchOff)"
+	} else {
+		for _, obs := range observers {
+			if _, ok := obs.(predictor.BlockBatchObserver); !ok {
+				batchReason = fmt.Sprintf("block-observing member %T lacks the batched block contract (predictor.BlockBatchObserver)", obs)
+				break
+			}
+		}
+	}
+	if batchReason == "" {
+		serr, err := runEnsembleBatchStream(members, src, bs, opts, &trackers, &branches, &instructions, onBlock)
 		if err != nil {
 			return results, err
 		}
 		srcErr = serr
+	} else if opts.Batch == BatchOn {
+		return results, fmt.Errorf("%w: %s", ErrBatchIneligible, batchReason)
 	} else {
 		buf := make([]trace.Branch, ensembleBatch)
 

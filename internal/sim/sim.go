@@ -62,11 +62,14 @@ type Options struct {
 	// Batch selects whether eligible runs use the data-oriented batch
 	// kernel: BatchAuto (the zero value) engages it when the predictor
 	// implements predictor.BatchPredictor, the source implements
-	// trace.BatchSource, UpdateDelay is 0 and the predictor does not
-	// observe fetch blocks; BatchOff forces the scalar fused path.
-	// Results are byte-identical in both modes (the batch differential
-	// suite pins that), so like Workers and Ensemble this is a schedule
-	// knob, excluded from cache keys.
+	// trace.BatchSource, UpdateDelay is 0 and any fetch-block-observing
+	// predictor also implements the batched block contract
+	// (predictor.BlockBatchObserver — the EV8 does); BatchOff forces
+	// the scalar fused path; BatchOn makes an ineligible run fail with
+	// ErrBatchIneligible instead of silently running scalar. Results
+	// are byte-identical in every mode (the batch differential suite
+	// pins that), so like Workers and Ensemble this is a schedule knob,
+	// excluded from cache keys.
 	Batch BatchMode
 	// Collect enables component attribution: when set and the predictor
 	// implements stats.Instrumented, Run turns its counters on before
@@ -309,14 +312,16 @@ func run(p predictor.Predictor, src trace.Source, opts Options, resume *Checkpoi
 
 	// The batch kernel takes over the whole stream when the run is
 	// eligible (see internal/sim/batch.go for the eligibility argument);
-	// the result is byte-identical to the scalar loop below.
-	if bp, ok := p.(predictor.BatchPredictor); ok && opts.Batch != BatchOff && opts.UpdateDelay == 0 && onBlock == nil {
-		if bs, ok := src.(trace.BatchSource); ok {
-			if err := runBatchStream(bp, bs, opts, &res, &records, &trackers); err != nil {
-				return res, nil, err
-			}
-			return finishRun(p, src, opts, res, records, &trackers, ring, head, count, inst, doCapture, apply)
+	// the result is byte-identical to the scalar loop below. Under
+	// BatchOn an ineligible run is a typed error, never a silent scalar
+	// fallback.
+	if bp, bs, reason := planBatch(p, src, opts, onBlock != nil); bp != nil {
+		if err := runBatchStream(bp, bs, opts, &res, &records, &trackers, onBlock); err != nil {
+			return res, nil, err
 		}
+		return finishRun(p, src, opts, res, records, &trackers, ring, head, count, inst, doCapture, apply)
+	} else if opts.Batch == BatchOn {
+		return res, nil, fmt.Errorf("%w: %s", ErrBatchIneligible, reason)
 	}
 
 	// info is hoisted out of the loop: its address is passed through
